@@ -1,0 +1,386 @@
+// Package adjstream is a Go implementation of the cycle counting algorithms
+// and lower-bound constructions of "The Complexity of Counting Cycles in the
+// Adjacency List Streaming Model" (Kallaugher, McGregor, Price, Vorotnikova;
+// PODS 2019).
+//
+// The package is the public facade over the implementation packages:
+//
+//   - the two-pass Õ(m/T^{2/3}) (1±ε) triangle estimator (Theorem 3.7),
+//   - the two-pass Õ(m/T^{3/8}) O(1)-approximate 4-cycle estimator
+//     (Theorem 4.6),
+//   - the prior-work baselines of Table 1 (one-pass edge sampling, wedge
+//     sampling, the naive two-pass estimator/distinguisher, the three-pass
+//     exact-load variant, and the trivial exact counter), and
+//   - the communication-game reductions of Section 5 (via internal/comm
+//     and internal/lb, exercised by cmd/experiments and the benchmarks).
+//
+// # Quick start
+//
+//	g, _ := adjstream.ReadEdgeListFile("graph.txt")
+//	s := adjstream.SortedStream(g)
+//	res, err := adjstream.Estimate(s, adjstream.Options{
+//		Algorithm:  adjstream.AlgoTwoPassTriangle,
+//		SampleProb: 0.05,
+//		Copies:     9,
+//		Seed:       1,
+//	})
+//	fmt.Printf("≈%.0f triangles using %d words\n", res.Estimate, res.SpaceWords)
+//
+// All estimators consume streams in the adjacency list model: every edge
+// appears once in each endpoint's list and lists are contiguous. Stream
+// construction, validation, and file I/O are re-exported here.
+package adjstream
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"adjstream/internal/baseline"
+	"adjstream/internal/core"
+	"adjstream/internal/graph"
+	"adjstream/internal/stats"
+	"adjstream/internal/stream"
+)
+
+// Re-exported fundamental types. These aliases make the public API
+// self-contained while the implementation lives in internal packages.
+type (
+	// V is a vertex identifier.
+	V = graph.V
+	// Edge is an undirected edge.
+	Edge = graph.Edge
+	// Graph is an immutable simple undirected graph with exact counters.
+	Graph = graph.Graph
+	// Builder accumulates edges into a Graph.
+	Builder = graph.Builder
+	// Stream is a validated adjacency-list stream.
+	Stream = stream.Stream
+	// Item is one stream element (owner, neighbor).
+	Item = stream.Item
+	// Estimator is a multi-pass streaming estimator.
+	Estimator = stream.Estimator
+)
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// FromEdges builds a graph from an edge list, rejecting self-loops and
+// duplicates.
+func FromEdges(edges []Edge) (*Graph, error) { return graph.FromEdges(edges) }
+
+// SortedStream returns the canonical deterministic stream of g (lists in
+// ascending vertex order, sorted neighbors).
+func SortedStream(g *Graph) *Stream { return stream.Sorted(g) }
+
+// RandomStream returns a uniformly random adjacency-list ordering of g.
+func RandomStream(g *Graph, seed uint64) *Stream { return stream.Random(g, seed) }
+
+// ReadStream parses a text stream ("owner neighbor" per line) and validates
+// the adjacency-list promise.
+func ReadStream(r io.Reader) (*Stream, error) { return stream.ReadText(r) }
+
+// WriteStream writes s in the text format accepted by ReadStream.
+func WriteStream(w io.Writer, s *Stream) error { return stream.WriteText(w, s) }
+
+// ReadEdgeList parses an undirected edge list ("u v" per line).
+func ReadEdgeList(r io.Reader) (*Graph, error) { return stream.ReadEdgeList(r) }
+
+// WriteEdgeList writes g as an edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return stream.WriteEdgeList(w, g) }
+
+// ReadEdgeListFile reads an edge-list file from disk.
+func ReadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("adjstream: %w", err)
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// ReadStreamFile reads a stream file from disk.
+func ReadStreamFile(path string) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("adjstream: %w", err)
+	}
+	defer f.Close()
+	return ReadStream(f)
+}
+
+// Algorithm selects an estimator.
+type Algorithm string
+
+// The available algorithms.
+const (
+	// AlgoTwoPassTriangle is the paper's main Õ(m/T^{2/3}) two-pass (1±ε)
+	// triangle estimator (Theorem 3.7).
+	AlgoTwoPassTriangle Algorithm = "twopass-triangle"
+	// AlgoThreePassTriangle is the Section 2.1 three-pass exact-load
+	// variant (Table 1 row 4 representative).
+	AlgoThreePassTriangle Algorithm = "threepass-triangle"
+	// AlgoNaiveTwoPass is the naive two-pass edge-sample estimator and
+	// 0-vs-T distinguisher (Table 1 rows 3 and 5).
+	AlgoNaiveTwoPass Algorithm = "naive-twopass"
+	// AlgoOnePassTriangle is the Õ(m/√T)-style one-pass estimator
+	// (Table 1 row 2).
+	AlgoOnePassTriangle Algorithm = "onepass-triangle"
+	// AlgoWedgeSampler is the one-pass wedge-sampling estimator, unbiased
+	// under random list order (Table 1 row 1 representative).
+	AlgoWedgeSampler Algorithm = "wedge-sampler"
+	// AlgoTwoPassFourCycle is the paper's Õ(m/T^{3/8}) two-pass O(1)-approx
+	// 4-cycle estimator (Theorem 4.6).
+	AlgoTwoPassFourCycle Algorithm = "twopass-fourcycle"
+	// AlgoAdaptiveTriangle is the two-pass triangle estimator with an
+	// online-shrinking budget for when T is unknown; SampleSize is the
+	// initial (maximum) budget.
+	AlgoAdaptiveTriangle Algorithm = "adaptive-triangle"
+	// AlgoExact is the trivial O(m) exact counter (any cycle length ≥ 3 via
+	// CycleLen).
+	AlgoExact Algorithm = "exact"
+)
+
+// Algorithms lists every selectable algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoTwoPassTriangle, AlgoThreePassTriangle, AlgoNaiveTwoPass,
+		AlgoOnePassTriangle, AlgoWedgeSampler, AlgoTwoPassFourCycle,
+		AlgoAdaptiveTriangle, AlgoExact,
+	}
+}
+
+// Options configures an estimator.
+type Options struct {
+	// Algorithm selects the estimator; required.
+	Algorithm Algorithm
+	// SampleSize m′ selects bottom-k edge sampling (a uniform size-m′
+	// sample). Exactly one of SampleSize / SampleProb must be set for the
+	// sampling algorithms; both are ignored by AlgoExact.
+	SampleSize int
+	// SampleProb selects independent hash sampling with this probability.
+	SampleProb float64
+	// PairCap bounds the candidate pair/wedge reservoir where applicable
+	// (0 = algorithm default).
+	PairCap int
+	// CycleLen is the cycle length for AlgoExact (default 3).
+	CycleLen int
+	// Copies > 1 runs that many independent copies in parallel and returns
+	// the median — the paper's amplification to success probability 1-δ.
+	// Mutually exclusive with Confidence.
+	Copies int
+	// Confidence, if set in (0,1), derives Copies from δ = 1-Confidence.
+	Confidence float64
+	// Parallel runs median copies concurrently (bounded by GOMAXPROCS).
+	// Results are identical to the sequential run; only wall time changes.
+	Parallel bool
+	// Seed drives all randomness deterministically.
+	Seed uint64
+}
+
+// Result reports an estimation run.
+type Result struct {
+	// Estimate is the (median) cycle count estimate.
+	Estimate float64
+	// SpaceWords is the peak state in machine words (summed over copies).
+	SpaceWords int64
+	// Passes is the number of passes taken over the stream.
+	Passes int
+	// M is the edge count observed in the first pass (0 for estimators
+	// that do not track it).
+	M int64
+	// Copies is the number of independent copies actually run.
+	Copies int
+}
+
+func (o Options) copies() (int, error) {
+	if o.Copies > 0 && o.Confidence > 0 {
+		return 0, fmt.Errorf("adjstream: set at most one of Copies and Confidence")
+	}
+	if o.Confidence > 0 {
+		if o.Confidence >= 1 {
+			return 0, fmt.Errorf("adjstream: Confidence %v must be in (0,1)", o.Confidence)
+		}
+		return stats.CopiesForConfidence(1 - o.Confidence), nil
+	}
+	if o.Copies < 0 {
+		return 0, fmt.Errorf("adjstream: negative Copies %d", o.Copies)
+	}
+	if o.Copies == 0 {
+		return 1, nil
+	}
+	return o.Copies, nil
+}
+
+// newSingle builds one copy with the given seed.
+func (o Options) newSingle(seed uint64) (Estimator, error) {
+	tcfg := core.TriangleConfig{
+		SampleSize: o.SampleSize,
+		SampleProb: o.SampleProb,
+		PairCap:    o.PairCap,
+		Seed:       seed,
+	}
+	bcfg := baseline.Config{
+		SampleSize: o.SampleSize,
+		SampleProb: o.SampleProb,
+		WedgeCap:   o.PairCap,
+		Seed:       seed,
+	}
+	switch o.Algorithm {
+	case AlgoTwoPassTriangle:
+		return core.NewTwoPassTriangle(tcfg)
+	case AlgoThreePassTriangle:
+		return core.NewThreePassTriangle(tcfg)
+	case AlgoNaiveTwoPass:
+		return core.NewNaiveTwoPass(tcfg)
+	case AlgoOnePassTriangle:
+		return baseline.NewOnePassTriangle(bcfg)
+	case AlgoWedgeSampler:
+		return baseline.NewWedgeSampler(bcfg)
+	case AlgoTwoPassFourCycle:
+		return core.NewTwoPassFourCycle(core.FourCycleConfig{
+			SampleSize: o.SampleSize,
+			SampleProb: o.SampleProb,
+			WedgeCap:   o.PairCap,
+			Seed:       seed,
+		})
+	case AlgoAdaptiveTriangle:
+		return core.NewAdaptiveTwoPassTriangle(core.AdaptiveConfig{
+			InitialSample: o.SampleSize,
+			PairCap:       o.PairCap,
+			Seed:          seed,
+		})
+	case AlgoExact:
+		l := o.CycleLen
+		if l == 0 {
+			l = 3
+		}
+		return baseline.NewExactStream(l)
+	case "":
+		return nil, fmt.Errorf("adjstream: Algorithm is required")
+	default:
+		return nil, fmt.Errorf("adjstream: unknown algorithm %q", o.Algorithm)
+	}
+}
+
+// NewEstimator builds the configured estimator (with median amplification
+// when Copies/Confidence ask for it). Drive it with RunStream or the
+// internal stream driver.
+func NewEstimator(opts Options) (Estimator, error) {
+	c, err := opts.copies()
+	if err != nil {
+		return nil, err
+	}
+	if c == 1 {
+		return opts.newSingle(opts.Seed)
+	}
+	copies := make([]Estimator, c)
+	for i := range copies {
+		e, err := opts.newSingle(opts.Seed + uint64(i)*0x9e37_79b9 + 1)
+		if err != nil {
+			return nil, err
+		}
+		copies[i] = e
+	}
+	return stream.NewMedian(copies...), nil
+}
+
+// RunStream drives e over s (all passes, identical order per pass).
+func RunStream(s *Stream, e Estimator) { stream.Run(s, e) }
+
+// Distinguish answers the paper's decision problem — does the stream's
+// graph contain any cycles of the given length, or none? — using the
+// sublinear distinguishers where they exist: the two-pass Θ(m/T^{2/3})
+// triangle distinguisher (Table 1 row 5) for cycleLen 3, the two-pass
+// Θ(m/T^{3/8}) estimator for cycleLen 4, and the exact O(m) counter for
+// cycleLen ≥ 5 (where Theorem 5.5 rules out anything sublinear).
+// sampleSize is the edge budget for the sublinear cases (0 defaults to
+// m/4-level budgets via SampleProb 0.25).
+func Distinguish(s *Stream, cycleLen int, sampleSize int, seed uint64) (found bool, res Result, err error) {
+	var opts Options
+	switch {
+	case cycleLen == 3:
+		opts = Options{Algorithm: AlgoNaiveTwoPass, SampleSize: sampleSize, Seed: seed}
+	case cycleLen == 4:
+		opts = Options{Algorithm: AlgoTwoPassFourCycle, SampleSize: sampleSize, Seed: seed}
+	case cycleLen >= 5:
+		opts = Options{Algorithm: AlgoExact, CycleLen: cycleLen, Seed: seed}
+	default:
+		return false, Result{}, fmt.Errorf("adjstream: cycle length %d < 3", cycleLen)
+	}
+	if sampleSize == 0 && cycleLen < 5 {
+		opts.SampleSize = 0
+		opts.SampleProb = 0.25
+	}
+	e, err := NewEstimator(opts)
+	if err != nil {
+		return false, Result{}, err
+	}
+	stream.Run(s, e)
+	res = Result{
+		Estimate:   e.Estimate(),
+		SpaceWords: e.SpaceWords(),
+		Passes:     e.Passes(),
+		M:          s.M(),
+		Copies:     1,
+	}
+	return res.Estimate > 0, res, nil
+}
+
+// LocalEstimate runs the two-pass semi-streaming local triangle estimator
+// (per-vertex counts) at edge-sampling probability p and returns the local
+// estimates together with run metadata. With p = 1 the counts are exact.
+func LocalEstimate(s *Stream, p float64, seed uint64) (map[V]float64, Result, error) {
+	alg, err := baseline.NewLocalTriangles(p, seed)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	stream.Run(s, alg)
+	res := Result{
+		Estimate:   alg.Estimate(),
+		SpaceWords: alg.SpaceWords(),
+		Passes:     alg.Passes(),
+		M:          s.M(),
+		Copies:     1,
+	}
+	return alg.Counts(), res, nil
+}
+
+// Estimate builds the estimator for opts, runs it over s, and reports the
+// result.
+func Estimate(s *Stream, opts Options) (Result, error) {
+	c, err := opts.copies()
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.Parallel && c > 1 {
+		copies := make([]Estimator, c)
+		for i := range copies {
+			e, err := opts.newSingle(opts.Seed + uint64(i)*0x9e37_79b9 + 1)
+			if err != nil {
+				return Result{}, err
+			}
+			copies[i] = e
+		}
+		est, sp := stream.MedianParallel(s, copies)
+		return Result{
+			Estimate:   est,
+			SpaceWords: sp,
+			Passes:     copies[0].Passes(),
+			M:          s.M(),
+			Copies:     c,
+		}, nil
+	}
+	e, err := NewEstimator(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	stream.Run(s, e)
+	return Result{
+		Estimate:   e.Estimate(),
+		SpaceWords: e.SpaceWords(),
+		Passes:     e.Passes(),
+		M:          s.M(),
+		Copies:     c,
+	}, nil
+}

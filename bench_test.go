@@ -1,0 +1,456 @@
+package adjstream
+
+// Benchmarks regenerating the paper's evaluation, one per Table 1 row and
+// Figure 1 panel plus the DESIGN.md ablations. Each benchmark drives the
+// relevant algorithm or reduction on a representative workload and reports,
+// beyond ns/op, the quantities the paper's claims are about:
+//
+//	relerr      — relative error of the estimate against ground truth
+//	space-words — peak state in machine words
+//	comm-words  — communication of the protocol simulation (lower bounds)
+//
+// The full parameter sweeps behind EXPERIMENTS.md live in cmd/experiments;
+// these benchmarks pin one representative point per row so regressions in
+// either accuracy or space are caught by `go test -bench=.`.
+
+import (
+	"math"
+	"testing"
+
+	"adjstream/internal/baseline"
+	"adjstream/internal/comm"
+	"adjstream/internal/core"
+	"adjstream/internal/exp"
+	"adjstream/internal/gen"
+	"adjstream/internal/graph"
+	"adjstream/internal/lb"
+	"adjstream/internal/stream"
+)
+
+// benchEstimator runs mk-built estimators over s for b.N iterations and
+// reports mean relative error and space.
+func benchEstimator(b *testing.B, s *stream.Stream, truth float64,
+	mk func(seed uint64) (stream.Estimator, error)) {
+	b.Helper()
+	var errSum, spaceSum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := mk(uint64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream.Run(s, e)
+		if truth > 0 {
+			errSum += math.Abs(e.Estimate()-truth) / truth
+		}
+		spaceSum += float64(e.SpaceWords())
+	}
+	b.ReportMetric(errSum/float64(b.N), "relerr")
+	b.ReportMetric(spaceSum/float64(b.N), "space-words")
+}
+
+func mustPlanted(b *testing.B, T int) (*graph.Graph, *stream.Stream) {
+	b.Helper()
+	g, err := gen.PlantedTriangles(T, 60, 0.3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, stream.Random(g, 3)
+}
+
+// BenchmarkTable1Row01WedgeSampler: 1-pass wedge sampling, Õ(P2/T).
+func BenchmarkTable1Row01WedgeSampler(b *testing.B) {
+	g, s := mustPlanted(b, 400)
+	benchEstimator(b, s, float64(g.Triangles()), func(seed uint64) (stream.Estimator, error) {
+		return baseline.NewWedgeSampler(baseline.Config{SampleProb: 0.4, Seed: seed})
+	})
+}
+
+// BenchmarkTable1Row02OnePass: 1-pass edge sampling, Õ(m/√T).
+func BenchmarkTable1Row02OnePass(b *testing.B) {
+	g, s := mustPlanted(b, 400)
+	size := int(8 * float64(g.M()) / math.Sqrt(400))
+	benchEstimator(b, s, float64(g.Triangles()), func(seed uint64) (stream.Estimator, error) {
+		return baseline.NewOnePassTriangle(baseline.Config{SampleSize: size, Seed: seed})
+	})
+}
+
+// BenchmarkTable1Row03EdgeSample: naive 2-pass estimator at Õ(m^{3/2}/T).
+func BenchmarkTable1Row03EdgeSample(b *testing.B) {
+	g, s := mustPlanted(b, 400)
+	size := int(2 * math.Pow(float64(g.M()), 1.5) / 400)
+	if int64(size) > g.M() {
+		size = int(g.M())
+	}
+	benchEstimator(b, s, float64(g.Triangles()), func(seed uint64) (stream.Estimator, error) {
+		return core.NewNaiveTwoPass(core.TriangleConfig{SampleSize: size, Seed: seed})
+	})
+}
+
+// BenchmarkTable1Row04ThreePass: 3-pass exact-load lightest edge.
+func BenchmarkTable1Row04ThreePass(b *testing.B) {
+	g, s := mustPlanted(b, 400)
+	benchEstimator(b, s, float64(g.Triangles()), func(seed uint64) (stream.Estimator, error) {
+		return core.NewThreePassTriangle(core.TriangleConfig{SampleSize: 1500, Seed: seed})
+	})
+}
+
+// BenchmarkTable1Row05Distinguisher: 2-pass 0-vs-T at Õ(m/T^{2/3}).
+func BenchmarkTable1Row05Distinguisher(b *testing.B) {
+	g, s := mustPlanted(b, 400)
+	size := int(4 * float64(g.M()) / math.Pow(400, 2.0/3.0))
+	detects := 0
+	var spaceSum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg, err := core.NewNaiveTwoPass(core.TriangleConfig{SampleSize: size, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream.Run(s, alg)
+		if alg.Detected() {
+			detects++
+		}
+		spaceSum += float64(alg.SpaceWords())
+	}
+	b.ReportMetric(float64(detects)/float64(b.N), "detect-rate")
+	b.ReportMetric(spaceSum/float64(b.N), "space-words")
+}
+
+// BenchmarkTable1Row06TwoPassTriangle: the Theorem 3.7 algorithm at its
+// Õ(m/T^{2/3}) budget.
+func BenchmarkTable1Row06TwoPassTriangle(b *testing.B) {
+	g, s := mustPlanted(b, 400)
+	size := int(8 * float64(g.M()) / math.Pow(400, 2.0/3.0))
+	benchEstimator(b, s, float64(g.Triangles()), func(seed uint64) (stream.Estimator, error) {
+		return core.NewTwoPassTriangle(core.TriangleConfig{SampleSize: size, PairCap: size, Seed: seed})
+	})
+}
+
+// benchGadget builds yes/no gadgets each iteration, verifies the dichotomy,
+// and reports the exact-protocol communication.
+func benchGadget(b *testing.B, mk func(want bool, seed uint64) (*lb.Gadget, error)) {
+	b.Helper()
+	var commWords float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		yes, err := mk(true, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		no, err := mk(false, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := yes.VerifyDichotomy(); err != nil {
+			b.Fatal(err)
+		}
+		if err := no.VerifyDichotomy(); err != nil {
+			b.Fatal(err)
+		}
+		alg, err := baseline.NewExactStream(yes.CycleLen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := comm.RunProtocol(yes.Segments, alg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		commWords += float64(tr.TotalWords)
+	}
+	b.ReportMetric(commWords/float64(b.N), "comm-words")
+}
+
+// BenchmarkTable1Row07LowerBoundPJ: Theorem 5.1 reduction (Figure 1a).
+func BenchmarkTable1Row07LowerBoundPJ(b *testing.B) {
+	benchGadget(b, func(want bool, seed uint64) (*lb.Gadget, error) {
+		return lb.TrianglePJGadget(comm.RandomPJ3(16, want, seed), 4)
+	})
+}
+
+// BenchmarkTable1Row08LowerBound3Disj: Theorem 5.2 reduction (Figure 1b).
+func BenchmarkTable1Row08LowerBound3Disj(b *testing.B) {
+	benchGadget(b, func(want bool, seed uint64) (*lb.Gadget, error) {
+		return lb.TriangleDisj3Gadget(comm.RandomDisj3(12, want, seed), 3)
+	})
+}
+
+// BenchmarkTable1Row09TwoPassFourCycle: the Theorem 4.6 algorithm at its
+// Õ(m/T^{3/8}) budget.
+func BenchmarkTable1Row09TwoPassFourCycle(b *testing.B) {
+	g, err := gen.BipartiteButterflies(200, 60, 6, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := stream.Random(g, 2)
+	truth := float64(g.FourCycles())
+	size := int(10 * float64(g.M()) / math.Pow(truth, 3.0/8.0))
+	if int64(size) > g.M() {
+		size = int(g.M())
+	}
+	benchEstimator(b, s, truth, func(seed uint64) (stream.Estimator, error) {
+		return core.NewTwoPassFourCycle(core.FourCycleConfig{SampleSize: size, WedgeCap: 4 * size, Seed: seed})
+	})
+}
+
+// BenchmarkTable1Row10LowerBoundIndex: Theorem 5.3 reduction (Figure 1c).
+func BenchmarkTable1Row10LowerBoundIndex(b *testing.B) {
+	strLen, err := lb.IndexGadgetStringLen(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGadget(b, func(want bool, seed uint64) (*lb.Gadget, error) {
+		return lb.FourCycleIndexGadget(comm.RandomIndex(strLen, want, seed), 5, 3)
+	})
+}
+
+// BenchmarkTable1Row11LowerBoundDisj: Theorem 5.4 reduction (Figure 1d).
+func BenchmarkTable1Row11LowerBoundDisj(b *testing.B) {
+	strLen, err := lb.DisjGadgetStringLen(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGadget(b, func(want bool, seed uint64) (*lb.Gadget, error) {
+		return lb.FourCycleDisjGadget(comm.RandomDisj(strLen, want, seed), 2, 2)
+	})
+}
+
+// BenchmarkTable1Row12LowerBoundLong: Theorem 5.5 reduction (Figure 1e).
+func BenchmarkTable1Row12LowerBoundLong(b *testing.B) {
+	benchGadget(b, func(want bool, seed uint64) (*lb.Gadget, error) {
+		return lb.LongCycleGadget(comm.RandomDisj(40, want, seed), 15, 5)
+	})
+}
+
+// Figure 1 panels: gadget construction plus exact dichotomy verification.
+
+func BenchmarkFigure1aGadget(b *testing.B) {
+	benchGadget(b, func(want bool, seed uint64) (*lb.Gadget, error) {
+		return lb.TrianglePJGadget(comm.RandomPJ3(10, want, seed), 4)
+	})
+}
+
+func BenchmarkFigure1bGadget(b *testing.B) {
+	benchGadget(b, func(want bool, seed uint64) (*lb.Gadget, error) {
+		return lb.TriangleDisj3Gadget(comm.RandomDisj3(10, want, seed), 3)
+	})
+}
+
+func BenchmarkFigure1cGadget(b *testing.B) {
+	strLen, err := lb.IndexGadgetStringLen(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGadget(b, func(want bool, seed uint64) (*lb.Gadget, error) {
+		return lb.FourCycleIndexGadget(comm.RandomIndex(strLen, want, seed), 3, 4)
+	})
+}
+
+func BenchmarkFigure1dGadget(b *testing.B) {
+	strLen, err := lb.DisjGadgetStringLen(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGadget(b, func(want bool, seed uint64) (*lb.Gadget, error) {
+		return lb.FourCycleDisjGadget(comm.RandomDisj(strLen, want, seed), 2, 2)
+	})
+}
+
+func BenchmarkFigure1eGadget(b *testing.B) {
+	benchGadget(b, func(want bool, seed uint64) (*lb.Gadget, error) {
+		return lb.LongCycleGadget(comm.RandomDisj(30, want, seed), 12, 6)
+	})
+}
+
+// Ablations.
+
+// BenchmarkAblationLightestEdge: naive vs ρ(τ) estimator variance on a
+// heavy-edge book workload; reports the MSE ratio (naive/lightest).
+func BenchmarkAblationLightestEdge(b *testing.B) {
+	g, err := gen.PlantedBooks(3, 100, 30, 0.3, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := float64(g.Triangles())
+	s := stream.Random(g, 4)
+	var naiveSq, smartSq float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := core.NewNaiveTwoPass(core.TriangleConfig{SampleProb: 0.15, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream.Run(s, n)
+		dn := n.Estimate() - truth
+		naiveSq += dn * dn
+		l, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: 0.15, PairCap: 1 << 18, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream.Run(s, l)
+		dl := l.Estimate() - truth
+		smartSq += dl * dl
+	}
+	if smartSq > 0 {
+		b.ReportMetric(naiveSq/smartSq, "mse-ratio")
+	}
+}
+
+// BenchmarkAblationHvsExact: 2-pass H proxy vs 3-pass exact loads.
+func BenchmarkAblationHvsExact(b *testing.B) {
+	g, err := gen.PlantedBooks(4, 60, 25, 0.3, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := float64(g.Triangles())
+	s := stream.Random(g, 4)
+	var e2, e3 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		two, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: 0.25, PairCap: 1 << 18, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream.Run(s, two)
+		e2 += math.Abs(two.Estimate()-truth) / truth
+		three, err := core.NewThreePassTriangle(core.TriangleConfig{SampleProb: 0.25, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream.Run(s, three)
+		e3 += math.Abs(three.Estimate()-truth) / truth
+	}
+	b.ReportMetric(e2/float64(b.N), "relerr-2pass")
+	b.ReportMetric(e3/float64(b.N), "relerr-3pass")
+}
+
+// BenchmarkAblationGoodCycleFraction: Lemma 4.2 classification.
+func BenchmarkAblationGoodCycleFraction(b *testing.B) {
+	g, err := gen.BipartiteButterflies(100, 40, 6, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var frac float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := core.ClassifyFourCycles(g, 40)
+		frac = st.GoodFraction()
+	}
+	b.ReportMetric(frac, "good-fraction")
+}
+
+// BenchmarkAblationSamplerKind: bottom-k vs fixed-probability sampling.
+func BenchmarkAblationSamplerKind(b *testing.B) {
+	g, s := mustPlanted(b, 300)
+	size := int(g.M() / 4)
+	p := 0.25
+	var ek, ep float64
+	truth := float64(g.Triangles())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bk, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleSize: size, PairCap: size, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream.Run(s, bk)
+		ek += math.Abs(bk.Estimate()-truth) / truth
+		fp, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: p, PairCap: size, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream.Run(s, fp)
+		ep += math.Abs(fp.Estimate()-truth) / truth
+	}
+	b.ReportMetric(ek/float64(b.N), "relerr-bottomk")
+	b.ReportMetric(ep/float64(b.N), "relerr-fixedp")
+}
+
+// BenchmarkAblationPassCrossover: required-sample comparison point (one
+// pass vs two passes on the fig-1a extremal family at T=1024).
+func BenchmarkAblationPassCrossover(b *testing.B) {
+	g, s := mustPlanted(b, 1024)
+	truth := float64(g.Triangles())
+	b1 := int(8 * float64(g.M()) / math.Sqrt(1024))
+	b2 := int(8 * float64(g.M()) / math.Pow(1024, 2.0/3.0))
+	var sp1, sp2 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		one, err := baseline.NewOnePassTriangle(baseline.Config{SampleSize: b1, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream.Run(s, one)
+		sp1 += float64(one.SpaceWords())
+		two, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleSize: b2, PairCap: b2, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream.Run(s, two)
+		sp2 += float64(two.SpaceWords())
+		_ = truth
+	}
+	b.ReportMetric(sp1/float64(b.N), "space-1pass")
+	b.ReportMetric(sp2/float64(b.N), "space-2pass")
+}
+
+// BenchmarkExperimentFigure1 runs the full Figure 1 experiment table.
+func BenchmarkExperimentFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure1Gadgets(uint64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Throughput benchmarks: items/second for each estimator class on a common
+// mid-size workload, complementing the per-row space/accuracy benches.
+
+func benchThroughput(b *testing.B, mk func(seed uint64) (stream.Estimator, error)) {
+	b.Helper()
+	g, err := gen.ErdosRenyi(400, 0.05, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := stream.Random(g, 3)
+	b.ResetTimer()
+	var items int64
+	for i := 0; i < b.N; i++ {
+		e, err := mk(uint64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream.Run(s, e)
+		items += int64(s.Len()) * int64(e.Passes())
+	}
+	b.ReportMetric(float64(items)/b.Elapsed().Seconds(), "items/sec")
+}
+
+func BenchmarkThroughputTwoPassTriangle(b *testing.B) {
+	benchThroughput(b, func(seed uint64) (stream.Estimator, error) {
+		return core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: 0.25, PairCap: 4096, Seed: seed})
+	})
+}
+
+func BenchmarkThroughputOnePassTriangle(b *testing.B) {
+	benchThroughput(b, func(seed uint64) (stream.Estimator, error) {
+		return baseline.NewOnePassTriangle(baseline.Config{SampleProb: 0.25, Seed: seed})
+	})
+}
+
+func BenchmarkThroughputFourCycle(b *testing.B) {
+	benchThroughput(b, func(seed uint64) (stream.Estimator, error) {
+		return core.NewTwoPassFourCycle(core.FourCycleConfig{SampleProb: 0.25, WedgeCap: 4096, Seed: seed})
+	})
+}
+
+func BenchmarkThroughputExact(b *testing.B) {
+	benchThroughput(b, func(seed uint64) (stream.Estimator, error) {
+		return baseline.NewExactStream(3)
+	})
+}
+
+func BenchmarkThroughputAdaptive(b *testing.B) {
+	benchThroughput(b, func(seed uint64) (stream.Estimator, error) {
+		return core.NewAdaptiveTwoPassTriangle(core.AdaptiveConfig{InitialSample: 2048, Seed: seed})
+	})
+}

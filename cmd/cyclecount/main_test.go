@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adjstream"
+	"adjstream/internal/gen"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k6.edges")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := adjstream.WriteEdgeList(f, gen.Complete(6)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExact(t *testing.T) {
+	path := writeFixture(t)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-algo", "exact", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "estimate:    20.00") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunTwoPassFullSample(t *testing.T) {
+	path := writeFixture(t)
+	var out, errw bytes.Buffer
+	code := run([]string{"-algo", "twopass-triangle", "-prob", "1", "-copies", "3", path}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "estimate:    20.00") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "passes:      2") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunStreamInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.stream")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adjstream.WriteStream(f, adjstream.SortedStream(gen.Complete(5))); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errw bytes.Buffer
+	if code := run([]string{"-stream", "-algo", "exact", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "estimate:    10.00") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	path := writeFixture(t)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-compare", "-prob", "1", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	for _, a := range adjstream.Algorithms() {
+		if !strings.Contains(out.String(), string(a)) {
+			t.Fatalf("compare output missing %s:\n%s", a, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeFixture(t)
+	cases := [][]string{
+		{},                                  // missing file
+		{"-algo", "bogus", path},            // unknown algorithm
+		{"-order", "bogus", path},           // unknown order
+		{"-algo", "twopass-triangle", path}, // no sampling parameter
+		{"/does/not/exist"},                 // missing input
+	}
+	for i, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code == 0 {
+			t.Errorf("case %d: expected failure", i)
+		}
+	}
+}

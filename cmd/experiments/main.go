@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's evaluation: every Table 1
+// row (upper bounds measured at their space budgets, lower bounds as
+// executable reductions with verified dichotomies), the Figure 1 gadget
+// summary, the model comparison, and the DESIGN.md ablations. Output is
+// Markdown (the source of EXPERIMENTS.md) or CSV.
+//
+// Usage:
+//
+//	experiments [-seed N] [-id T1.R6|F1|M1|A3|all] [-format markdown|csv] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"adjstream/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1, "seed for all randomness")
+	id := fs.String("id", "all", "experiment id (see DESIGN.md) or 'all'")
+	format := fs.String("format", "markdown", "output format: markdown or csv")
+	out := fs.String("out", "", "output file (default stdout)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Fprintln(stdout, e.ID)
+		}
+		return 0
+	}
+	tables, err := exp.Run(*id, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	for _, t := range tables {
+		switch *format {
+		case "markdown":
+			fmt.Fprintln(w, t.Markdown())
+		case "csv":
+			fmt.Fprintln(w, t.CSV())
+		default:
+			fmt.Fprintf(stderr, "experiments: unknown format %q\n", *format)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adjstream"
+	"adjstream/internal/stream"
+)
+
+func TestRunAllKinds(t *testing.T) {
+	kinds := []string{
+		"er", "gnm", "complete", "bipartite", "chunglu", "ba", "planted",
+		"books", "butterflies", "disjoint-triangles", "disjoint-c4",
+		"torus", "regular", "smallworld", "plane",
+	}
+	for _, kind := range kinds {
+		var out, errw bytes.Buffer
+		args := []string{"-kind", kind, "-n", "20", "-m", "40", "-t", "5", "-side", "10", "-k", "2", "-q", "3"}
+		if code := run(args, &out, &errw); code != 0 {
+			t.Fatalf("%s: exit %d: %s", kind, code, errw.String())
+		}
+		g, err := adjstream.ReadEdgeList(&out)
+		if err != nil {
+			t.Fatalf("%s: parsing output: %v", kind, err)
+		}
+		if g.M() == 0 {
+			t.Fatalf("%s: empty graph", kind)
+		}
+	}
+}
+
+func TestRunStreamFormats(t *testing.T) {
+	dir := t.TempDir()
+	txtPath := filepath.Join(dir, "g.stream")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-kind", "complete", "-n", "6", "-format", "stream", "-order", "sorted", "-out", txtPath}, &out, &errw); code != 0 {
+		t.Fatalf("exit: %s", errw.String())
+	}
+	s, err := adjstream.ReadStreamFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M() != 15 {
+		t.Fatalf("M = %d", s.M())
+	}
+
+	binPath := filepath.Join(dir, "g.adjb")
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-kind", "complete", "-n", "6", "-format", "binstream", "-out", binPath}, &out, &errw); code != 0 {
+		t.Fatalf("exit: %s", errw.String())
+	}
+	f, err := os.Open(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s2, err := stream.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.M() != 15 {
+		t.Fatalf("binary M = %d", s2.M())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "bogus"},
+		{"-format", "bogus", "-kind", "complete", "-n", "4"},
+		{"-kind", "plane", "-q", "6"},              // not a prime power
+		{"-kind", "regular", "-n", "5", "-k", "3"}, // odd n·d
+	}
+	for i, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code == 0 {
+			t.Errorf("case %d: expected failure", i)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adjstream"
+	"adjstream/internal/gen"
+)
+
+func fixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k5.edges")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := adjstream.WriteEdgeList(f, gen.Complete(5)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasic(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{fixture(t)}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	for _, want := range []string{
+		"vertices (n):        5",
+		"edges (m):           10",
+		"triangles (T):       10",
+		"4-cycles:            15",
+		"transitivity:        1.0000",
+		"girth:               3",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunExtraLen(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-len", "5", fixture(t)}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "5-cycles:            12") {
+		t.Fatalf("missing 5-cycle count in:\n%s", out.String())
+	}
+}
+
+func TestRunStreamInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.stream")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adjstream.WriteStream(f, adjstream.SortedStream(gen.Complete(4))); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errw bytes.Buffer
+	if code := run([]string{"-stream", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "triangles (T):       4") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code == 0 {
+		t.Error("expected failure without input")
+	}
+	if code := run([]string{"/does/not/exist"}, &out, &errw); code == 0 {
+		t.Error("expected failure for missing file")
+	}
+}
+
+func TestRunMotifs(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-motifs", fixture(t)}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	// K5 contains C(5,4) = 5 four-cliques; each contributes 3 four-cycles
+	// and 6 diamonds.
+	for _, want := range []string{
+		"4-cliques:         5",
+		"diamonds:          30",
+		"4-cycles:          15",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, out.String())
+		}
+	}
+}

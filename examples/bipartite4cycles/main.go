@@ -1,0 +1,59 @@
+// Butterfly (4-cycle) counting on a bipartite user–item graph — the
+// motif-analytics workload where 4-cycles measure co-purchase overlap. We
+// run the paper's Theorem 4.6 two-pass estimator at the Õ(m/T^{3/8}) space
+// budget and report the achieved constant-factor accuracy, plus the
+// Lemma 4.2 "good wedge" structure of the instance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"adjstream"
+	"adjstream/internal/core"
+	"adjstream/internal/gen"
+)
+
+func main() {
+	// 400 users each linked to 8 of 120 items.
+	g, err := gen.BipartiteButterflies(400, 120, 8, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := g.FourCycles()
+	fmt.Printf("user–item graph: n=%d m=%d\n", g.N(), g.M())
+	fmt.Printf("exact butterflies (4-cycles): %d\n\n", truth)
+
+	// The Lemma 4.2 structure that makes sampling work.
+	st := core.ClassifyFourCycles(g, 40)
+	fmt.Printf("lemma 4.2 structure: heavy edges=%d overused wedges=%d good fraction=%.3f\n\n",
+		st.HeavyEdges, st.OverusedWedges, st.GoodFraction())
+
+	s := adjstream.RandomStream(g, 1)
+	// The paper's budget: m' = c·m/T^{3/8}.
+	for _, c := range []float64{4, 8, 16} {
+		size := int(c * float64(g.M()) / math.Pow(float64(truth), 3.0/8.0))
+		if int64(size) > g.M() {
+			size = int(g.M())
+		}
+		res, err := adjstream.Estimate(s, adjstream.Options{
+			Algorithm:  adjstream.AlgoTwoPassFourCycle,
+			SampleSize: size,
+			Copies:     9,
+			Seed:       7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio := res.Estimate / float64(truth)
+		if ratio < 1 && ratio > 0 {
+			ratio = 1 / ratio
+		}
+		fmt.Printf("m'=%5d (c=%2.0f): estimate %8.0f  approx-ratio %.2f  space %d words\n",
+			size, c, res.Estimate, ratio, res.SpaceWords)
+	}
+
+	fmt.Println("\nthe estimator is an O(1)-approximation (Theorem 4.6); the paper")
+	fmt.Println("proves (1±ε) is impossible at this budget in one pass (Theorem 5.3).")
+}

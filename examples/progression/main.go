@@ -1,0 +1,64 @@
+// The Section 2.1 progression, measured: the paper motivates its final
+// algorithm in three steps — the naive edge-sample estimator (unbiased but
+// destroyed by heavy edges), the three-pass exact-lightest-edge fix (good
+// variance, but an extra pass and an unbounded candidate set), and the
+// final two-pass algorithm (the H_{e,τ} stream-order proxy plus a sampled
+// candidate set). This example runs all three on the same heavy-edge
+// workload at equal sampling rate and prints what each step buys.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"adjstream"
+	"adjstream/internal/gen"
+)
+
+func main() {
+	// Books: one spine edge per block carries h triangles — the heavy-edge
+	// structure that motivates the whole design.
+	const h = 200
+	g, err := gen.PlantedBooks(3, h, 40, 0.25, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := float64(g.Triangles())
+	s := adjstream.RandomStream(g, 1)
+	fmt.Printf("workload: m=%d T=%.0f, heaviest edge in %d triangles\n\n", g.M(), truth, g.MaxTriangleLoad())
+
+	steps := []struct {
+		name string
+		algo adjstream.Algorithm
+		note string
+	}{
+		{"naive 2-pass (step 1)", adjstream.AlgoNaiveTwoPass,
+			"unbiased, but one sampled spine swings the estimate by h/(3p)"},
+		{"exact lightest edge, 3 passes (step 2)", adjstream.AlgoThreePassTriangle,
+			"counts each triangle at its argmin-T(e) edge: variance tamed, pass paid"},
+		{"H-proxy lightest edge, 2 passes (final)", adjstream.AlgoTwoPassTriangle,
+			"ρ(τ) from the stream-order proxy: same variance story, one pass cheaper"},
+	}
+	const p, trials = 0.15, 60
+	for _, st := range steps {
+		var sumSq float64
+		for seed := uint64(0); seed < trials; seed++ {
+			res, err := adjstream.Estimate(s, adjstream.Options{
+				Algorithm:  st.algo,
+				SampleProb: p,
+				PairCap:    1 << 20,
+				Seed:       seed*13 + 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			d := res.Estimate - truth
+			sumSq += d * d
+		}
+		rmse := math.Sqrt(sumSq/trials) / truth
+		fmt.Printf("%-42s RMSE/T = %.3f\n    %s\n", st.name, rmse, st.note)
+	}
+	fmt.Println("\nthe two-pass final algorithm keeps the three-pass variance at the")
+	fmt.Println("two-pass price — Theorem 3.7's Õ(m/T^{2/3}) trade-off.")
+}

@@ -1,0 +1,84 @@
+// Social-network triangle counting: the data-mining scenario from the
+// paper's introduction. We generate a skewed Chung–Lu power-law graph (the
+// degree structure of real social networks, including the heavy edges that
+// break naive sampling), then estimate its triangle count and transitivity
+// at a range of space budgets, comparing the one-pass baseline with the
+// paper's two-pass algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adjstream"
+	"adjstream/internal/gen"
+)
+
+func main() {
+	// A 1200-vertex power-law graph: hubs create heavy edges.
+	g, err := gen.ChungLu(1200, 2.1, 260, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truthT := g.Triangles()
+	fmt.Printf("network: n=%d m=%d maxdeg=%d\n", g.N(), g.M(), g.MaxDegree())
+	fmt.Printf("exact:   T=%d transitivity=%.4f maxEdgeLoad=%d\n\n",
+		truthT, g.Transitivity(), g.MaxTriangleLoad())
+
+	s := adjstream.RandomStream(g, 1)
+
+	fmt.Println("space budget sweep (median of 9 copies each):")
+	fmt.Printf("%-10s %-12s %-12s %-12s %-12s\n", "m'", "1-pass est", "1-pass err", "2-pass est", "2-pass err")
+	for _, frac := range []float64{0.05, 0.1, 0.2, 0.4} {
+		size := int(frac * float64(g.M()))
+		one, err := adjstream.Estimate(s, adjstream.Options{
+			Algorithm:  adjstream.AlgoOnePassTriangle,
+			SampleSize: size,
+			Copies:     9,
+			Seed:       11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		two, err := adjstream.Estimate(s, adjstream.Options{
+			Algorithm:  adjstream.AlgoTwoPassTriangle,
+			SampleSize: size,
+			PairCap:    size,
+			Copies:     9,
+			Seed:       11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %-12.0f %-12.3f %-12.0f %-12.3f\n",
+			size, one.Estimate, relErr(one.Estimate, float64(truthT)),
+			two.Estimate, relErr(two.Estimate, float64(truthT)))
+	}
+
+	// Transitivity 3T/P2 from the estimate: P2 is exactly countable in one
+	// pass with O(1) counters per list.
+	best, err := adjstream.Estimate(s, adjstream.Options{
+		Algorithm:  adjstream.AlgoTwoPassTriangle,
+		SampleSize: int(0.4 * float64(g.M())),
+		PairCap:    int(0.4 * float64(g.M())),
+		Copies:     9,
+		Seed:       11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2 := g.WedgeCount()
+	fmt.Printf("\nestimated transitivity: %.4f (exact %.4f)\n",
+		3*best.Estimate/float64(p2), g.Transitivity())
+}
+
+func relErr(est, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	e := est - truth
+	if e < 0 {
+		e = -e
+	}
+	return e / truth
+}

@@ -1,0 +1,3 @@
+module adjstream
+
+go 1.22

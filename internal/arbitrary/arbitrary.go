@@ -1,0 +1,308 @@
+// Package arbitrary implements the arbitrary-order insertion-only edge
+// streaming model that Section 1.1 of the paper contrasts with the
+// adjacency-list model: each edge appears exactly once, in adversarial
+// order, with no locality promise. It provides the model's classic triangle
+// counting algorithms — the Buriol et al. edge-plus-vertex sampler and the
+// two-pass wedge-closure estimator behind the Θ(m^{3/2}/T) const-pass bound
+// of Bera–Chakrabarti and McGregor–Vorotnikova–Vu — so experiments can
+// measure what the adjacency-list promise buys (experiment M1).
+package arbitrary
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"adjstream/internal/graph"
+	"adjstream/internal/sampling"
+	"adjstream/internal/space"
+)
+
+// Stream is an arbitrary-order edge stream: every edge exactly once.
+type Stream struct {
+	edges []graph.Edge
+}
+
+// FromGraph returns g's edges in a uniformly random order under seed.
+func FromGraph(g *graph.Graph, seed uint64) *Stream {
+	es := g.Edges()
+	rng := rand.New(rand.NewPCG(seed, seed^0x6c62_272e_07bb_0142))
+	rng.Shuffle(len(es), func(i, j int) { es[i], es[j] = es[j], es[i] })
+	return &Stream{edges: es}
+}
+
+// FromEdges validates (no duplicates in either orientation, no self-loops)
+// and wraps an explicit edge sequence.
+func FromEdges(edges []graph.Edge) (*Stream, error) {
+	seen := make(map[graph.Edge]bool, len(edges))
+	for i, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("arbitrary: self-loop at index %d", i)
+		}
+		n := e.Norm()
+		if seen[n] {
+			return nil, fmt.Errorf("arbitrary: duplicate edge %v at index %d", n, i)
+		}
+		seen[n] = true
+	}
+	return &Stream{edges: edges}, nil
+}
+
+// Edges returns the underlying sequence (shared; do not modify).
+func (s *Stream) Edges() []graph.Edge { return s.edges }
+
+// M returns the number of edges.
+func (s *Stream) M() int64 { return int64(len(s.edges)) }
+
+// Algorithm is a multi-pass arbitrary-order streaming algorithm.
+type Algorithm interface {
+	// Passes returns the number of passes required.
+	Passes() int
+	// StartPass is called before pass p (0-based).
+	StartPass(p int)
+	// Edge is called once per stream edge.
+	Edge(u, v graph.V)
+	// EndPass is called after pass p.
+	EndPass(p int)
+}
+
+// Estimator is an Algorithm producing an estimate and a space figure.
+type Estimator interface {
+	Algorithm
+	// Estimate returns the final estimate; valid after Run.
+	Estimate() float64
+	// SpaceWords returns the peak words of state used.
+	SpaceWords() int64
+}
+
+// Run replays s once per pass of a, in identical order.
+func Run(s *Stream, a Algorithm) {
+	for p := 0; p < a.Passes(); p++ {
+		a.StartPass(p)
+		for _, e := range s.edges {
+			a.Edge(e.U, e.V)
+		}
+		a.EndPass(p)
+	}
+}
+
+// TwoPassWedge is the const-pass arbitrary-order estimator family behind
+// the Θ(m^{3/2}/T) bound: pass one hash-samples edges with probability p
+// and forms the wedges inside the sample; pass two sees every edge again
+// and closes sampled wedges exactly. Each triangle has three wedges, each
+// present with probability p², so T̂ = closed/(3p²) is unbiased. The space
+// is the edge sample plus the wedge set; at p = Θ(√m/T) that is the
+// Θ(m^{3/2}/T) of Table 1's const-pass arbitrary-order rows.
+type TwoPassWedge struct {
+	p       float64
+	sampler *sampling.FixedProb
+
+	incident map[graph.V][]graph.V
+	byPair   map[graph.Edge][]*arbWedge
+	wedges   int64
+	closed   int64
+
+	pass  int
+	items int64
+	m     int64
+	meter space.Meter
+}
+
+type arbWedge struct {
+	closed bool
+}
+
+var _ Estimator = (*TwoPassWedge)(nil)
+
+// NewTwoPassWedge returns the estimator with edge-sampling probability p.
+func NewTwoPassWedge(p float64, seed uint64) (*TwoPassWedge, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("arbitrary: sampling probability %v out of (0,1]", p)
+	}
+	return &TwoPassWedge{
+		p:        p,
+		sampler:  sampling.NewFixedProb(p, seed),
+		incident: make(map[graph.V][]graph.V),
+		byPair:   make(map[graph.Edge][]*arbWedge),
+	}, nil
+}
+
+// Passes implements Algorithm.
+func (t *TwoPassWedge) Passes() int { return 2 }
+
+// StartPass implements Algorithm.
+func (t *TwoPassWedge) StartPass(p int) { t.pass = p }
+
+// Edge implements Algorithm.
+func (t *TwoPassWedge) Edge(u, v graph.V) {
+	switch t.pass {
+	case 0:
+		t.items++
+		if t.sampler.Offer(u, v) {
+			t.addSampled(graph.Edge{U: u, V: v}.Norm())
+		}
+	case 1:
+		key := graph.Edge{U: u, V: v}.Norm()
+		for _, w := range t.byPair[key] {
+			if !w.closed {
+				w.closed = true
+				t.closed++
+			}
+		}
+	}
+}
+
+func (t *TwoPassWedge) addSampled(e graph.Edge) {
+	for _, c := range [2]graph.V{e.U, e.V} {
+		other := e.V
+		if c == e.V {
+			other = e.U
+		}
+		for _, x := range t.incident[c] {
+			if x == other {
+				continue
+			}
+			t.wedges++
+			w := &arbWedge{}
+			key := graph.Edge{U: x, V: other}.Norm()
+			t.byPair[key] = append(t.byPair[key], w)
+			t.meter.Charge(space.WordsPerWedge)
+		}
+	}
+	t.incident[e.U] = append(t.incident[e.U], e.V)
+	t.incident[e.V] = append(t.incident[e.V], e.U)
+	t.meter.Charge(space.WordsPerEdge)
+}
+
+// EndPass implements Algorithm.
+func (t *TwoPassWedge) EndPass(p int) {
+	if p == 0 {
+		t.m = t.items
+	}
+}
+
+// Estimate returns closed/(3p²).
+func (t *TwoPassWedge) Estimate() float64 {
+	return float64(t.closed) / (3 * t.p * t.p)
+}
+
+// WedgesFormed returns the number of wedges stored after pass one.
+func (t *TwoPassWedge) WedgesFormed() int64 { return t.wedges }
+
+// SpaceWords implements Estimator.
+func (t *TwoPassWedge) SpaceWords() int64 { return t.meter.Peak() }
+
+// M returns the edge count measured in pass one.
+func (t *TwoPassWedge) M() int64 { return t.m }
+
+// BuriolSampler is the classic one-pass arbitrary-order estimator of
+// Buriol et al.: R independent instances each hold a uniform stream edge
+// (reservoir) and a uniform third vertex from [n]\{endpoints}, and succeed
+// if both completing edges appear after the sampled edge. For any fixed
+// stream order exactly one edge of each triangle (its first-arriving one)
+// can succeed, so E[successes] = R·T/(m·(n-2)) and
+// T̂ = successes·m·(n-2)/R is unbiased. It needs the vertex universe size n
+// up front (the standard assumption in that line of work) and Ω(mn/T)
+// instances for concentration — the weakness that motivated all subsequent
+// work in both models.
+type BuriolSampler struct {
+	n   int64
+	rng *rand.Rand
+
+	inst []buriolInstance
+
+	pos   int64
+	m     int64
+	meter space.Meter
+}
+
+type buriolInstance struct {
+	e      graph.Edge // sampled edge (valid if havee)
+	w      graph.V    // sampled third vertex
+	havee  bool
+	gotUW  bool
+	gotVW  bool
+	closed bool
+}
+
+var _ Estimator = (*BuriolSampler)(nil)
+
+// NewBuriolSampler returns a sampler with r independent instances over the
+// vertex universe {0, …, n-1}.
+func NewBuriolSampler(r int, n int64, seed uint64) (*BuriolSampler, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("arbitrary: instance count %d < 1", r)
+	}
+	if n < 3 {
+		return nil, fmt.Errorf("arbitrary: vertex universe %d < 3", n)
+	}
+	b := &BuriolSampler{
+		n:    n,
+		rng:  rand.New(rand.NewPCG(seed, seed^0x3c79_ac49_2ba7_b653)),
+		inst: make([]buriolInstance, r),
+	}
+	b.meter.Charge(int64(r) * (space.WordsPerEdge + 2))
+	return b, nil
+}
+
+// Passes implements Algorithm.
+func (b *BuriolSampler) Passes() int { return 1 }
+
+// StartPass implements Algorithm.
+func (b *BuriolSampler) StartPass(p int) {}
+
+// Edge implements Algorithm.
+func (b *BuriolSampler) Edge(u, v graph.V) {
+	b.pos++
+	e := graph.Edge{U: u, V: v}.Norm()
+	for i := range b.inst {
+		in := &b.inst[i]
+		// Reservoir over edges: replace with probability 1/pos.
+		if b.rng.Int64N(b.pos) == 0 {
+			in.e = e
+			in.havee = true
+			// Uniform third vertex, resampled on edge replacement; avoid
+			// the endpoints (the classical estimator uses n-2 for this).
+			for {
+				w := graph.V(b.rng.Int64N(b.n))
+				if w != e.U && w != e.V {
+					in.w = w
+					break
+				}
+			}
+			in.gotUW, in.gotVW, in.closed = false, false, false
+			continue
+		}
+		if !in.havee || in.closed {
+			continue
+		}
+		if (e == graph.Edge{U: in.e.U, V: in.w}.Norm()) {
+			in.gotUW = true
+		}
+		if (e == graph.Edge{U: in.e.V, V: in.w}.Norm()) {
+			in.gotVW = true
+		}
+		if in.gotUW && in.gotVW {
+			in.closed = true
+		}
+	}
+}
+
+// EndPass implements Algorithm.
+func (b *BuriolSampler) EndPass(p int) { b.m = b.pos }
+
+// Estimate returns successes·m·(n-2)/R.
+func (b *BuriolSampler) Estimate() float64 {
+	succ := 0
+	for i := range b.inst {
+		if b.inst[i].closed {
+			succ++
+		}
+	}
+	return float64(succ) * float64(b.m) * float64(b.n-2) / float64(len(b.inst))
+}
+
+// SpaceWords implements Estimator.
+func (b *BuriolSampler) SpaceWords() int64 { return b.meter.Peak() }
+
+// M returns the measured edge count.
+func (b *BuriolSampler) M() int64 { return b.m }

@@ -1,0 +1,186 @@
+package arbitrary
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adjstream/internal/gen"
+	"adjstream/internal/graph"
+	"adjstream/internal/stats"
+)
+
+func TestFromEdgesValidation(t *testing.T) {
+	if _, err := FromEdges([]graph.Edge{{U: 1, V: 1}}); err == nil {
+		t.Fatal("expected self-loop error")
+	}
+	if _, err := FromEdges([]graph.Edge{{U: 1, V: 2}, {U: 2, V: 1}}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	s, err := FromEdges([]graph.Edge{{U: 1, V: 2}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M() != 2 {
+		t.Fatalf("M = %d", s.M())
+	}
+}
+
+func TestFromGraphShufflesDeterministically(t *testing.T) {
+	g := gen.Complete(8)
+	a, b := FromGraph(g, 1), FromGraph(g, 1)
+	for i := range a.Edges() {
+		if a.Edges()[i] != b.Edges()[i] {
+			t.Fatal("same seed gave different orders")
+		}
+	}
+	c := FromGraph(g, 2)
+	same := true
+	for i := range a.Edges() {
+		if a.Edges()[i] != c.Edges()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical orders")
+	}
+}
+
+func TestTwoPassWedgeExactAtFullSample(t *testing.T) {
+	// p = 1: every wedge stored, every closure found: closed = 3T exactly.
+	for seed := uint64(1); seed <= 5; seed++ {
+		g, err := gen.ErdosRenyi(15, 0.4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg, err := NewTwoPassWedge(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Run(FromGraph(g, seed), alg)
+		if got := alg.Estimate(); got != float64(g.Triangles()) {
+			t.Fatalf("seed %d: estimate %v, want %d", seed, got, g.Triangles())
+		}
+		if alg.M() != g.M() {
+			t.Fatalf("M = %d", alg.M())
+		}
+	}
+}
+
+func TestTwoPassWedgeUnbiased(t *testing.T) {
+	g, err := gen.PlantedTriangles(60, 20, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(g.Triangles())
+	s := FromGraph(g, 9)
+	var ests []float64
+	for seed := uint64(0); seed < 300; seed++ {
+		alg, err := NewTwoPassWedge(0.5, seed*3+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Run(s, alg)
+		ests = append(ests, alg.Estimate())
+	}
+	if mean := stats.Mean(ests); math.Abs(mean-truth)/truth > 0.1 {
+		t.Fatalf("mean %v, truth %v", mean, truth)
+	}
+}
+
+func TestTwoPassWedgeRejectsBadP(t *testing.T) {
+	for _, p := range []float64{0, -1, 1.5} {
+		if _, err := NewTwoPassWedge(p, 1); err == nil {
+			t.Fatalf("p=%v should fail", p)
+		}
+	}
+}
+
+func TestBuriolUnbiased(t *testing.T) {
+	g := gen.Complete(10) // T = 120, n = 10, m = 45
+	truth := float64(g.Triangles())
+	n := int64(g.N())
+	var ests []float64
+	for seed := uint64(0); seed < 200; seed++ {
+		alg, err := NewBuriolSampler(200, n, seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Run(FromGraph(g, seed), alg)
+		ests = append(ests, alg.Estimate())
+	}
+	if mean := stats.Mean(ests); math.Abs(mean-truth)/truth > 0.15 {
+		t.Fatalf("mean %v, truth %v", mean, truth)
+	}
+}
+
+func TestBuriolSingleTriangle(t *testing.T) {
+	// One triangle, three vertices: every instance whose sampled edge is
+	// the first-arriving triangle edge and whose w is the third vertex
+	// succeeds; none else. Estimate must be non-negative and m·(n-2)-quantized.
+	g := gen.DisjointTriangles(1)
+	alg, err := NewBuriolSampler(50, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(FromGraph(g, 3), alg)
+	est := alg.Estimate()
+	if est < 0 {
+		t.Fatalf("estimate %v", est)
+	}
+	// With n=3 and m=3, quantum is m(n-2)/R = 3/50.
+	if rem := math.Mod(est*50, 3); rem > 1e-9 && rem < 3-1e-9 {
+		t.Fatalf("estimate %v is not quantized as expected", est)
+	}
+}
+
+func TestBuriolValidation(t *testing.T) {
+	if _, err := NewBuriolSampler(0, 10, 1); err == nil {
+		t.Fatal("r=0 should fail")
+	}
+	if _, err := NewBuriolSampler(5, 2, 1); err == nil {
+		t.Fatal("n<3 should fail")
+	}
+}
+
+func TestTwoPassWedgeSpaceGrowsWithP(t *testing.T) {
+	g, err := gen.ErdosRenyi(60, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FromGraph(g, 1)
+	lo, err := NewTwoPassWedge(0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(s, lo)
+	hi, err := NewTwoPassWedge(0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(s, hi)
+	if hi.SpaceWords() <= lo.SpaceWords() {
+		t.Fatalf("space lo=%d hi=%d", lo.SpaceWords(), hi.SpaceWords())
+	}
+}
+
+// Property: full-sample two-pass wedge closure equals 3T on random inputs
+// regardless of edge order.
+func TestTwoPassWedgeClosureQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.ErdosRenyi(12, 0.5, seed%128+1)
+		if err != nil {
+			return false
+		}
+		alg, err := NewTwoPassWedge(1, 1)
+		if err != nil {
+			return false
+		}
+		Run(FromGraph(g, seed), alg)
+		return alg.Estimate() == float64(g.Triangles())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adjstream/internal/gen"
+	"adjstream/internal/stats"
+	"adjstream/internal/stream"
+)
+
+func TestOnePassExactAtFullSample(t *testing.T) {
+	// With every edge sampled, N = 2T exactly (each triangle detectable at
+	// exactly two of its edges), so the estimate is exactly T.
+	cases := []int{1, 5, 25}
+	for _, n := range cases {
+		g := gen.DisjointTriangles(n)
+		for seed := uint64(0); seed < 3; seed++ {
+			alg, err := NewOnePassTriangle(Config{SampleProb: 1, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream.Run(stream.Random(g, seed), alg)
+			if got := alg.Estimate(); got != float64(n) {
+				t.Fatalf("t=%d seed %d: estimate = %v", n, seed, got)
+			}
+			if alg.PairsDiscovered() != int64(2*n) {
+				t.Fatalf("t=%d: N = %d, want %d", n, alg.PairsDiscovered(), 2*n)
+			}
+		}
+	}
+}
+
+func TestOnePassExactAtFullSampleQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.ErdosRenyi(14, 0.4, seed%256+1)
+		if err != nil {
+			return false
+		}
+		alg, err := NewOnePassTriangle(Config{SampleProb: 1, Seed: 1})
+		if err != nil {
+			return false
+		}
+		stream.Run(stream.Random(g, seed), alg)
+		return alg.Estimate() == float64(g.Triangles()) &&
+			alg.PairsDiscovered() == 2*g.Triangles()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnePassUnbiasedUnderSubsampling(t *testing.T) {
+	g, err := gen.PlantedTriangles(60, 20, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(g.Triangles())
+	s := stream.Random(g, 3)
+	var ests []float64
+	for seed := uint64(0); seed < 250; seed++ {
+		alg, err := NewOnePassTriangle(Config{SampleProb: 0.4, Seed: seed*3 + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, alg)
+		ests = append(ests, alg.Estimate())
+	}
+	if mean := stats.Mean(ests); math.Abs(mean-truth)/truth > 0.1 {
+		t.Fatalf("mean = %v, truth = %v", mean, truth)
+	}
+}
+
+func TestOnePassBottomK(t *testing.T) {
+	g := gen.DisjointTriangles(100)
+	var ests []float64
+	for seed := uint64(0); seed < 200; seed++ {
+		alg, err := NewOnePassTriangle(Config{SampleSize: 150, Seed: seed + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(stream.Random(g, 5), alg)
+		ests = append(ests, alg.Estimate())
+	}
+	truth := float64(g.Triangles())
+	if mean := stats.Mean(ests); math.Abs(mean-truth)/truth > 0.2 {
+		t.Fatalf("bottom-k mean = %v, truth = %v", mean, truth)
+	}
+}
+
+func TestOnePassTriangleFree(t *testing.T) {
+	g := gen.CompleteBipartite(10, 10)
+	alg, err := NewOnePassTriangle(Config{SampleProb: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Sorted(g), alg)
+	if alg.Detected() || alg.Estimate() != 0 {
+		t.Fatal("false positive on triangle-free graph")
+	}
+}
+
+func TestWedgeSamplerUnbiasedRandomOrder(t *testing.T) {
+	g, err := gen.PlantedTriangles(80, 15, 0.3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(g.Triangles())
+	var ests []float64
+	// Average over both stream orders and sampling seeds: the 2/3 closure
+	// argument is over the random list order.
+	for seed := uint64(0); seed < 400; seed++ {
+		alg, err := NewWedgeSampler(Config{SampleProb: 0.6, Seed: seed*7 + 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(stream.Random(g, seed+1000), alg)
+		ests = append(ests, alg.Estimate())
+	}
+	if mean := stats.Mean(ests); math.Abs(mean-truth)/truth > 0.15 {
+		t.Fatalf("mean = %v, truth = %v", mean, truth)
+	}
+}
+
+func TestWedgeSamplerFullSampleClosures(t *testing.T) {
+	// One triangle, all edges sampled: over many uniformly random orders
+	// the closure count must average 5/2 — the wedges centered at the two
+	// earliest lists always close, the third closes with probability 1/2
+	// (within-list order of its formation and closing items).
+	g := gen.DisjointTriangles(1)
+	var sum float64
+	const trials = 600
+	for seed := uint64(0); seed < trials; seed++ {
+		alg, err := NewWedgeSampler(Config{SampleProb: 1, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(stream.Random(g, seed), alg)
+		c := float64(alg.ClosedWedges())
+		if c < 2 || c > 3 {
+			t.Fatalf("closed %v wedges of one triangle, want 2 or 3", c)
+		}
+		sum += c
+	}
+	if mean := sum / trials; math.Abs(mean-2.5) > 0.1 {
+		t.Fatalf("mean closures = %v, want ≈2.5", mean)
+	}
+}
+
+func TestWedgeSamplerCap(t *testing.T) {
+	g := gen.Complete(12)
+	alg, err := NewWedgeSampler(Config{SampleProb: 1, WedgeCap: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Random(g, 1), alg)
+	if alg.WedgesFormed() <= 15 {
+		t.Fatalf("formed = %d, expected > cap", alg.WedgesFormed())
+	}
+	if est := alg.Estimate(); est < 0 || math.IsNaN(est) {
+		t.Fatalf("degenerate estimate %v", est)
+	}
+}
+
+func TestWedgeSamplerBottomKEviction(t *testing.T) {
+	g := gen.Complete(15)
+	alg, err := NewWedgeSampler(Config{SampleSize: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Random(g, 2), alg)
+	if est := alg.Estimate(); est < 0 || math.IsNaN(est) || math.IsInf(est, 0) {
+		t.Fatalf("degenerate estimate %v", est)
+	}
+}
+
+func TestExactStreamTriangles(t *testing.T) {
+	g, err := gen.ErdosRenyi(40, 0.3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewExactStream(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Random(g, 1), alg)
+	if got := alg.Estimate(); got != float64(g.Triangles()) {
+		t.Fatalf("exact = %v, want %d", got, g.Triangles())
+	}
+	if alg.SpaceWords() != 2*g.M() {
+		t.Fatalf("space = %d, want %d", alg.SpaceWords(), 2*g.M())
+	}
+	if alg.M() != g.M() {
+		t.Fatalf("M = %d", alg.M())
+	}
+}
+
+func TestExactStreamFourCycles(t *testing.T) {
+	g := gen.CompleteBipartite(5, 6)
+	alg, err := NewExactStream(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Sorted(g), alg)
+	if got := alg.Estimate(); got != float64(g.FourCycles()) {
+		t.Fatalf("exact = %v, want %d", got, g.FourCycles())
+	}
+}
+
+func TestExactStreamRejectsShortCycles(t *testing.T) {
+	if _, err := NewExactStream(2); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{SampleSize: 5, SampleProb: 0.5},
+		{SampleProb: 1.2},
+		{SampleSize: 5, WedgeCap: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewOnePassTriangle(cfg); err == nil {
+			t.Errorf("case %d: expected error (one-pass)", i)
+		}
+		if _, err := NewWedgeSampler(cfg); err == nil {
+			t.Errorf("case %d: expected error (wedge)", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"adjstream/internal/gen"
+	"adjstream/internal/stats"
+	"adjstream/internal/stream"
+)
+
+func TestLocalTrianglesExactAtP1(t *testing.T) {
+	g, err := gen.ErdosRenyi(30, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewLocalTriangles(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Random(g, 2), alg)
+	want := g.LocalTriangles()
+	for v, c := range want {
+		if got := alg.Local(v); math.Abs(got-float64(c)) > 1e-9 {
+			t.Fatalf("local(%d) = %v, want %d", v, got, c)
+		}
+	}
+	if got := alg.Estimate(); math.Abs(got-float64(g.Triangles())) > 1e-9 {
+		t.Fatalf("global = %v, want %d", got, g.Triangles())
+	}
+	// Vertices in no triangle must not appear in the counts map.
+	for v := range alg.Counts() {
+		if _, ok := want[v]; !ok {
+			t.Fatalf("spurious count for %d", v)
+		}
+	}
+}
+
+func TestLocalTrianglesUnbiased(t *testing.T) {
+	g := gen.Friendship(20) // hub 0 in 20 triangles, spokes in 1 each
+	s := stream.Random(g, 1)
+	var hub stats.Running
+	for seed := uint64(0); seed < 150; seed++ {
+		alg, err := NewLocalTriangles(0.5, seed*3+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, alg)
+		hub.Add(alg.Local(0))
+	}
+	if math.Abs(hub.Mean()-20)/20 > 0.1 {
+		t.Fatalf("hub mean = %v, want ≈20", hub.Mean())
+	}
+}
+
+func TestLocalTrianglesValidation(t *testing.T) {
+	for _, p := range []float64{0, -0.5, 1.5} {
+		if _, err := NewLocalTriangles(p, 1); err == nil {
+			t.Fatalf("p=%v should fail", p)
+		}
+	}
+}
+
+func TestLocalTrianglesTriangleFree(t *testing.T) {
+	g := gen.CompleteBipartite(6, 6)
+	alg, err := NewLocalTriangles(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Sorted(g), alg)
+	if alg.Estimate() != 0 || len(alg.Counts()) != 0 {
+		t.Fatal("false positives on triangle-free graph")
+	}
+	if alg.M() != g.M() {
+		t.Fatalf("M = %d", alg.M())
+	}
+}

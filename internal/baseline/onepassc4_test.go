@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"adjstream/internal/gen"
+	"adjstream/internal/stats"
+	"adjstream/internal/stream"
+)
+
+func TestOnePassFourCycleExactAtFullSample(t *testing.T) {
+	g := gen.CompleteBipartite(4, 5)
+	alg, err := NewOnePassFourCycle(Config{SampleProb: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Random(g, 2), alg)
+	if got := alg.Estimate(); got != float64(g.FourCycles()) {
+		t.Fatalf("estimate = %v, want %d", got, g.FourCycles())
+	}
+	if !alg.Detected() {
+		t.Fatal("should detect at full sample")
+	}
+	if alg.M() != g.M() {
+		t.Fatalf("M = %d", alg.M())
+	}
+}
+
+func TestOnePassFourCycleUnbiased(t *testing.T) {
+	g := gen.DisjointFourCycles(100)
+	s := stream.Random(g, 1)
+	var ests []float64
+	for seed := uint64(0); seed < 400; seed++ {
+		alg, err := NewOnePassFourCycle(Config{SampleProb: 0.6, Seed: seed*3 + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, alg)
+		ests = append(ests, alg.Estimate())
+	}
+	if mean := stats.Mean(ests); math.Abs(mean-100)/100 > 0.15 {
+		t.Fatalf("mean = %v, want ≈100", mean)
+	}
+}
+
+// The (m′/m)⁴ collapse: at a sublinear-ish rate the detector almost never
+// fires even with plenty of cycles present — the Theorem 5.3 phenomenon.
+func TestOnePassFourCycleCollapsesAtLowRate(t *testing.T) {
+	g := gen.DisjointFourCycles(50)
+	s := stream.Random(g, 4)
+	detects := 0
+	const trials = 60
+	for seed := uint64(0); seed < trials; seed++ {
+		alg, err := NewOnePassFourCycle(Config{SampleProb: 0.1, Seed: seed + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, alg)
+		if alg.Detected() {
+			detects++
+		}
+	}
+	// Expected detection ≈ 1-(1-10⁻⁴)⁵⁰ ≈ 0.5%; allow slack.
+	if float64(detects)/trials > 0.2 {
+		t.Fatalf("detected in %d/%d trials; expected near-total collapse", detects, trials)
+	}
+}
+
+func TestOnePassFourCycleBottomKEviction(t *testing.T) {
+	g := gen.CompleteBipartite(6, 6)
+	alg, err := NewOnePassFourCycle(Config{SampleSize: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Random(g, 2), alg)
+	if est := alg.Estimate(); est < 0 || math.IsNaN(est) {
+		t.Fatalf("degenerate estimate %v", est)
+	}
+}

@@ -1,0 +1,178 @@
+package comm
+
+import (
+	"testing"
+
+	"adjstream/internal/baseline"
+	"adjstream/internal/core"
+	"adjstream/internal/gen"
+	"adjstream/internal/graph"
+	"adjstream/internal/stream"
+)
+
+func TestRandomIndexForcesAnswer(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		for _, want := range []bool{false, true} {
+			inst := RandomIndex(50, want, seed)
+			if err := inst.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if inst.Answer() != want {
+				t.Fatalf("seed %d: answer = %v, want %v", seed, inst.Answer(), want)
+			}
+		}
+	}
+}
+
+func TestIndexValidate(t *testing.T) {
+	if err := (IndexInstance{S: []bool{true}, X: 1}).Validate(); err == nil {
+		t.Fatal("expected range error")
+	}
+	if err := (IndexInstance{S: []bool{true}, X: -1}).Validate(); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestRandomDisjUniqueIntersection(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		yes := RandomDisj(60, true, seed)
+		if !yes.Answer() {
+			t.Fatalf("seed %d: forced intersecting instance disjoint", seed)
+		}
+		count := 0
+		for i := range yes.S1 {
+			if yes.S1[i] && yes.S2[i] {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("seed %d: %d intersections, want exactly 1", seed, count)
+		}
+		no := RandomDisj(60, false, seed)
+		if no.Answer() {
+			t.Fatalf("seed %d: forced disjoint instance intersects", seed)
+		}
+	}
+}
+
+func TestDisjValidate(t *testing.T) {
+	if err := (DisjInstance{S1: []bool{true}, S2: []bool{}}).Validate(); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestRandomPJ3ForcesAnswer(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		for _, want := range []bool{false, true} {
+			inst := RandomPJ3(40, want, seed)
+			if err := inst.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if inst.Answer() != want {
+				t.Fatalf("seed %d: answer = %v, want %v", seed, inst.Answer(), want)
+			}
+		}
+	}
+}
+
+func TestPJ3Validate(t *testing.T) {
+	if err := (PJ3Instance{P0: 5, P1: []int{0}, P2: []bool{false}}).Validate(); err == nil {
+		t.Fatal("expected P0 range error")
+	}
+	if err := (PJ3Instance{P0: 0, P1: []int{7}, P2: []bool{false}}).Validate(); err == nil {
+		t.Fatal("expected P1 range error")
+	}
+	if err := (PJ3Instance{P0: 0, P1: []int{0}, P2: []bool{}}).Validate(); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestRandomDisj3UniqueTriple(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		yes := RandomDisj3(60, true, seed)
+		count := 0
+		for i := range yes.S1 {
+			if yes.S1[i] && yes.S2[i] && yes.S3[i] {
+				count++
+			}
+		}
+		if count != 1 || !yes.Answer() {
+			t.Fatalf("seed %d: %d triples", seed, count)
+		}
+		no := RandomDisj3(60, false, seed)
+		if no.Answer() {
+			t.Fatalf("seed %d: forced-no instance intersects", seed)
+		}
+	}
+}
+
+// segmentsOf splits a graph's sorted stream into per-player item segments
+// by assigning each vertex's list to a player round-robin by vertex blocks.
+func segmentsOf(g *graph.Graph, cut graph.V) [][]stream.Item {
+	var a, b []stream.Item
+	s := stream.Sorted(g)
+	for _, it := range s.Items() {
+		if it.Owner < cut {
+			a = append(a, it)
+		} else {
+			b = append(b, it)
+		}
+	}
+	return [][]stream.Item{a, b}
+}
+
+func TestRunProtocolHandoffCounts(t *testing.T) {
+	g := gen.Complete(10)
+	segs := segmentsOf(g, 5)
+	alg, err := baseline.NewExactStream(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunProtocol(segs, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pass, two players: exactly one handoff.
+	if tr.Handoffs != 1 || len(tr.HandoffWords) != 1 {
+		t.Fatalf("handoffs = %d", tr.Handoffs)
+	}
+	if tr.TotalWords <= 0 || tr.PeakWords <= 0 {
+		t.Fatalf("words: total=%d peak=%d", tr.TotalWords, tr.PeakWords)
+	}
+	if got := alg.Estimate(); got != float64(g.Triangles()) {
+		t.Fatalf("protocol run corrupted the algorithm: estimate %v, want %d", got, g.Triangles())
+	}
+}
+
+func TestRunProtocolMultiPass(t *testing.T) {
+	g := gen.Complete(8)
+	segs := segmentsOf(g, 4)
+	alg, err := core.NewNaiveTwoPass(core.TriangleConfig{SampleProb: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunProtocol(segs, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two passes, two players: handoff mid-pass-1, between passes, and
+	// mid-pass-2 = 3 handoffs.
+	if tr.Handoffs != 3 {
+		t.Fatalf("handoffs = %d, want 3", tr.Handoffs)
+	}
+}
+
+func TestRunProtocolRejectsBadInput(t *testing.T) {
+	g := gen.Complete(4)
+	alg, _ := baseline.NewExactStream(3)
+	if _, err := RunProtocol(segmentsOf(g, 100)[:1], alg); err == nil {
+		t.Fatal("expected error for one player")
+	}
+	// Invalid stream: split a list between players.
+	s := stream.Sorted(g).Items()
+	bad := [][]stream.Item{s[:1], s[1:]}
+	alg2, _ := baseline.NewExactStream(3)
+	if _, err := RunProtocol(bad, alg2); err == nil {
+		t.Fatal("expected error for split list")
+	}
+}

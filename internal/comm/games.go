@@ -1,0 +1,194 @@
+// Package comm implements the communication complexity games that Section 5
+// of the paper reduces from — INDEX, two-party Disjointness, three-party
+// number-on-forehead Pointer Jumping, and three-party NOF Disjointness —
+// together with a protocol harness that runs an adjacency-list streaming
+// algorithm as a communication protocol and measures the state handed
+// between players. The reductions themselves (instance → gadget graph) live
+// in internal/lb.
+package comm
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x8e9d_34a1_77f1_02c9))
+}
+
+// IndexInstance is an INDEX_r instance: Alice holds the bit string S, Bob
+// holds the index X, and the answer is S[X].
+type IndexInstance struct {
+	S []bool
+	X int
+}
+
+// Answer returns S[X].
+func (i IndexInstance) Answer() bool { return i.S[i.X] }
+
+// Validate checks structural sanity.
+func (i IndexInstance) Validate() error {
+	if i.X < 0 || i.X >= len(i.S) {
+		return fmt.Errorf("comm: index %d out of range [0,%d)", i.X, len(i.S))
+	}
+	return nil
+}
+
+// RandomIndex returns an INDEX_r instance with uniform bits and uniform
+// index; want forces the answer bit.
+func RandomIndex(r int, want bool, seed uint64) IndexInstance {
+	rng := newRNG(seed)
+	s := make([]bool, r)
+	for i := range s {
+		s[i] = rng.IntN(2) == 1
+	}
+	x := rng.IntN(r)
+	s[x] = want
+	return IndexInstance{S: s, X: x}
+}
+
+// DisjInstance is a two-party DISJ_r instance: the answer is 1 iff some
+// index has S1[x] = S2[x] = 1.
+type DisjInstance struct {
+	S1, S2 []bool
+}
+
+// Answer reports whether the sets intersect.
+func (d DisjInstance) Answer() bool {
+	for i := range d.S1 {
+		if d.S1[i] && d.S2[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural sanity.
+func (d DisjInstance) Validate() error {
+	if len(d.S1) != len(d.S2) {
+		return fmt.Errorf("comm: string lengths differ: %d vs %d", len(d.S1), len(d.S2))
+	}
+	return nil
+}
+
+// RandomDisj returns a DISJ_r instance with density controlled per side. If
+// intersect is true the instance has exactly one common index (the hard
+// unique-intersection regime); otherwise none.
+func RandomDisj(r int, intersect bool, seed uint64) DisjInstance {
+	rng := newRNG(seed)
+	s1 := make([]bool, r)
+	s2 := make([]bool, r)
+	for i := range s1 {
+		// Sparse-ish strings keep gadget sizes moderate while leaving both
+		// sides nonempty.
+		s1[i] = rng.IntN(3) == 0
+		s2[i] = rng.IntN(3) == 0
+		if s1[i] && s2[i] {
+			s2[i] = false // remove accidental intersections
+		}
+	}
+	if intersect {
+		x := rng.IntN(r)
+		s1[x], s2[x] = true, true
+	}
+	return DisjInstance{S1: s1, S2: s2}
+}
+
+// PJ3Instance is a three-party NOF Pointer Jumping instance over the
+// four-layer graph of Section 5: V1 = {v*}, V2 and V3 of size r, and
+// V4 = {v40, v41}. P0 is v*'s out-edge (E1), P1 the out-edges of V2 (E2),
+// P2 the out-edges of V3 into V4 (E3, as bits). Alice knows (P1, P2), Bob
+// knows (P0, P2), Charlie knows (P0, P1).
+type PJ3Instance struct {
+	P0 int
+	P1 []int
+	P2 []bool
+}
+
+// Answer reports whether v* reaches v41.
+func (p PJ3Instance) Answer() bool { return p.P2[p.P1[p.P0]] }
+
+// Validate checks structural sanity.
+func (p PJ3Instance) Validate() error {
+	r := len(p.P1)
+	if len(p.P2) != r {
+		return fmt.Errorf("comm: layer sizes differ: %d vs %d", r, len(p.P2))
+	}
+	if p.P0 < 0 || p.P0 >= r {
+		return fmt.Errorf("comm: P0 = %d out of range [0,%d)", p.P0, r)
+	}
+	for i, t := range p.P1 {
+		if t < 0 || t >= r {
+			return fmt.Errorf("comm: P1[%d] = %d out of range [0,%d)", i, t, r)
+		}
+	}
+	return nil
+}
+
+// RandomPJ3 returns a 3-PJ_r instance with uniform pointers; want forces
+// the answer.
+func RandomPJ3(r int, want bool, seed uint64) PJ3Instance {
+	rng := newRNG(seed)
+	p := PJ3Instance{
+		P0: rng.IntN(r),
+		P1: make([]int, r),
+		P2: make([]bool, r),
+	}
+	for i := range p.P1 {
+		p.P1[i] = rng.IntN(r)
+	}
+	for i := range p.P2 {
+		p.P2[i] = rng.IntN(2) == 1
+	}
+	p.P2[p.P1[p.P0]] = want
+	return p
+}
+
+// Disj3Instance is a three-party NOF Disjointness instance: the answer is 1
+// iff some index has all three bits set. Alice knows (S1, S2), Bob (S2, S3),
+// Charlie (S3, S1).
+type Disj3Instance struct {
+	S1, S2, S3 []bool
+}
+
+// Answer reports whether the three sets share an element.
+func (d Disj3Instance) Answer() bool {
+	for i := range d.S1 {
+		if d.S1[i] && d.S2[i] && d.S3[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural sanity.
+func (d Disj3Instance) Validate() error {
+	if len(d.S1) != len(d.S2) || len(d.S2) != len(d.S3) {
+		return fmt.Errorf("comm: string lengths differ: %d, %d, %d", len(d.S1), len(d.S2), len(d.S3))
+	}
+	return nil
+}
+
+// RandomDisj3 returns a 3-DISJ_r instance; if intersect is true it has
+// exactly one index with all three bits set, otherwise none.
+func RandomDisj3(r int, intersect bool, seed uint64) Disj3Instance {
+	rng := newRNG(seed)
+	d := Disj3Instance{
+		S1: make([]bool, r),
+		S2: make([]bool, r),
+		S3: make([]bool, r),
+	}
+	for i := 0; i < r; i++ {
+		d.S1[i] = rng.IntN(3) == 0
+		d.S2[i] = rng.IntN(3) == 0
+		d.S3[i] = rng.IntN(3) == 0
+		if d.S1[i] && d.S2[i] && d.S3[i] {
+			d.S3[i] = false
+		}
+	}
+	if intersect {
+		x := rng.IntN(r)
+		d.S1[x], d.S2[x], d.S3[x] = true, true, true
+	}
+	return d
+}

@@ -1,0 +1,94 @@
+package comm
+
+import (
+	"fmt"
+
+	"adjstream/internal/graph"
+	"adjstream/internal/stream"
+)
+
+// Transcript records one simulated run of a streaming algorithm used as a
+// communication protocol: the players hold consecutive segments of the
+// adjacency-list stream (their assigned vertices' lists), each pass is one
+// round of the protocol, and at every handoff the sending player transmits
+// the algorithm's entire state — whose size in words is the algorithm's
+// live space at that moment.
+type Transcript struct {
+	// Handoffs is the number of state transmissions: per pass, one per
+	// player boundary, plus one between passes (back to the first player).
+	Handoffs int
+	// HandoffWords[i] is the live state size at the i-th handoff.
+	HandoffWords []int64
+	// TotalWords is the total communication of the protocol.
+	TotalWords int64
+	// PeakWords is the algorithm's peak space (max message size).
+	PeakWords int64
+}
+
+// RunProtocol drives alg over the concatenation of the players' segments
+// once per pass, recording the algorithm's reported state size at every
+// player boundary. Segments must each satisfy list-contiguity; the
+// concatenation must form a valid adjacency-list stream.
+func RunProtocol(segments [][]stream.Item, alg stream.Estimator) (*Transcript, error) {
+	if len(segments) < 2 {
+		return nil, fmt.Errorf("comm: need at least 2 players, got %d", len(segments))
+	}
+	var all []stream.Item
+	ownerSeg := make(map[graph.V]int)
+	for si, seg := range segments {
+		for _, it := range seg {
+			if prev, ok := ownerSeg[it.Owner]; ok && prev != si {
+				return nil, fmt.Errorf("comm: adjacency list of %d spans players %d and %d", it.Owner, prev, si)
+			}
+			ownerSeg[it.Owner] = si
+		}
+		all = append(all, seg...)
+	}
+	if err := stream.Validate(all); err != nil {
+		return nil, fmt.Errorf("comm: invalid protocol stream: %w", err)
+	}
+	tr := &Transcript{}
+	passes := alg.Passes()
+	for p := 0; p < passes; p++ {
+		alg.StartPass(p)
+		var cur graph.V
+		inList := false
+		for si, seg := range segments {
+			for _, it := range seg {
+				if !inList || it.Owner != cur {
+					if inList {
+						alg.EndList(cur)
+					}
+					cur = it.Owner
+					inList = true
+					alg.StartList(cur)
+				}
+				alg.Edge(it.Owner, it.Nbr)
+			}
+			// Handoff after every segment except the very last of the
+			// final pass (the last player announces the answer).
+			last := p == passes-1 && si == len(segments)-1
+			if !last {
+				if inList {
+					// A list never spans players: each vertex is owned by
+					// one player. Close it before the handoff.
+					alg.EndList(cur)
+					inList = false
+				}
+				w := alg.SpaceWords()
+				tr.Handoffs++
+				tr.HandoffWords = append(tr.HandoffWords, w)
+				tr.TotalWords += w
+				if w > tr.PeakWords {
+					tr.PeakWords = w
+				}
+			}
+		}
+		if inList {
+			alg.EndList(cur)
+			inList = false
+		}
+		alg.EndPass(p)
+	}
+	return tr, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"adjstream/internal/gen"
+	"adjstream/internal/stats"
+	"adjstream/internal/stream"
+)
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	bad := []AdaptiveConfig{
+		{},                                 // no initial sample
+		{InitialSample: 10, MinSample: 20}, // min > initial
+		{InitialSample: 10, C: -1},         // negative C
+		{InitialSample: 10, PairCap: -1},   // negative cap
+		{InitialSample: 10, MinSample: -3}, // negative min
+	}
+	for i, cfg := range bad {
+		if _, err := NewAdaptiveTwoPassTriangle(cfg); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+}
+
+func TestAdaptiveShrinksTowardOracleBudget(t *testing.T) {
+	// Dense triangles: the oracle budget C·m/T^{2/3} is far below the
+	// initial capacity, so the run must shrink substantially.
+	g, err := gen.PlantedTriangles(1000, 60, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream.Random(g, 1)
+	alg, err := NewAdaptiveTwoPassTriangle(AdaptiveConfig{InitialSample: int(g.M()), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(s, alg)
+	oracle := 8 * float64(g.M()) / math.Pow(1000, 2.0/3.0)
+	final := float64(alg.FinalSample())
+	if final >= float64(g.M()) {
+		t.Fatalf("no shrink happened: final = %v", final)
+	}
+	if final < oracle/6 || final > oracle*6 {
+		t.Fatalf("final budget %v far from oracle %v", final, oracle)
+	}
+	if alg.M() != g.M() {
+		t.Fatalf("M = %d", alg.M())
+	}
+}
+
+func TestAdaptiveAccuracy(t *testing.T) {
+	g, err := gen.PlantedTriangles(400, 40, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(g.Triangles())
+	s := stream.Random(g, 2)
+	var ests []float64
+	for seed := uint64(0); seed < 60; seed++ {
+		alg, err := NewAdaptiveTwoPassTriangle(AdaptiveConfig{InitialSample: int(g.M()), Seed: seed + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, alg)
+		ests = append(ests, alg.Estimate())
+	}
+	mean := stats.Mean(ests)
+	if math.Abs(mean-truth)/truth > 0.15 {
+		t.Fatalf("adaptive mean %v far from truth %v", mean, truth)
+	}
+	med := stats.Median(ests)
+	if math.Abs(med-truth)/truth > 0.2 {
+		t.Fatalf("adaptive median %v far from truth %v", med, truth)
+	}
+}
+
+func TestAdaptiveSparseDoesNotOverShrink(t *testing.T) {
+	// Few triangles: T̂ stays small, the target stays high, and the run
+	// should keep (nearly) its initial capacity.
+	g, err := gen.PlantedTriangles(2, 60, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewAdaptiveTwoPassTriangle(AdaptiveConfig{InitialSample: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Random(g, 4), alg)
+	if alg.FinalSample() < 900 {
+		t.Fatalf("over-shrunk on sparse workload: final = %d", alg.FinalSample())
+	}
+}
+
+func TestBottomKShrinkSemantics(t *testing.T) {
+	g := gen.Complete(10)
+	// Use adaptive machinery indirectly: shrinking must preserve exactness
+	// when no shrink triggers (C enormous).
+	alg, err := NewAdaptiveTwoPassTriangle(AdaptiveConfig{InitialSample: 1000, C: 1e9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Random(g, 1), alg)
+	if got := alg.Estimate(); got != float64(g.Triangles()) {
+		t.Fatalf("estimate %v, want %d", got, g.Triangles())
+	}
+	if alg.FinalSample() != 1000 {
+		t.Fatalf("unexpected shrink to %d", alg.FinalSample())
+	}
+}

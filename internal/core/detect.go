@@ -1,0 +1,214 @@
+// Package core implements the paper's contribution: the two-pass
+// Õ(m/T^{2/3}) triangle estimator of Theorem 3.7 (with the lightest-edge
+// rule computed through the stream-order proxy H_{e,τ}), the three-pass
+// exact-T_e variant sketched in Section 2.1, the naive two-pass edge-sample
+// estimator/distinguisher that motivates both, and the two-pass Õ(m/T^{3/8})
+// 4-cycle estimator of Theorem 4.6, together with the Lemma 4.2 good-wedge
+// analysis.
+//
+// All algorithms operate item-at-a-time in the adjacency list streaming
+// model (see internal/stream) and charge a space meter for every word of
+// state they retain, so measured space is honest.
+package core
+
+import "adjstream/internal/graph"
+
+// edgeRec is the tracked state of one sampled edge: its canonical endpoints,
+// the list positions of its endpoints (filled during pass one; -1 while
+// unknown), the position at which it entered the sample, and the two
+// presence flags used for triangle detection within the current adjacency
+// list ("flag any endpoint of a sampled edge if it appears").
+type edgeRec struct {
+	u, v       graph.V // canonical u < v
+	posU, posV int     // list positions of u's and v's lists; -1 unknown
+	posFirst   int     // position at which the edge entered the sample
+	flagU      bool
+	flagV      bool
+	hits       int64 // discoveries credited to this edge (naive estimator)
+	dead       bool  // evicted from a bottom-k sample
+}
+
+// pos returns the recorded list position of endpoint x (which must be u or
+// v), or -1 if not yet seen.
+func (r *edgeRec) pos(x graph.V) int {
+	if x == r.u {
+		return r.posU
+	}
+	return r.posV
+}
+
+// detector maintains the per-list presence flags for a set of tracked edges
+// and reports, at the end of each adjacency list, the edges whose both
+// endpoints appeared — i.e. the triangles (edge, apex=list owner). It uses
+// O(1) state per tracked edge, never O(degree) transient state.
+type detector struct {
+	recs     map[graph.Edge]*edgeRec
+	byVertex map[graph.V][]*edgeRec
+	dirty    []*edgeRec
+}
+
+func newDetector() *detector {
+	return &detector{
+		recs:     make(map[graph.Edge]*edgeRec),
+		byVertex: make(map[graph.V][]*edgeRec),
+	}
+}
+
+// get returns the record for {u,v}, or nil.
+func (d *detector) get(u, v graph.V) *edgeRec {
+	return d.recs[graph.Edge{U: u, V: v}.Norm()]
+}
+
+// track registers the edge {owner,nbr} first seen in owner's list at
+// position pos, indexing both endpoints for flag lookups.
+func (d *detector) track(owner, nbr graph.V, pos int) *edgeRec {
+	e := graph.Edge{U: owner, V: nbr}.Norm()
+	r := &edgeRec{u: e.U, v: e.V, posU: -1, posV: -1, posFirst: pos}
+	if owner == r.u {
+		r.posU = pos
+	} else {
+		r.posV = pos
+	}
+	d.recs[e] = r
+	d.byVertex[r.u] = append(d.byVertex[r.u], r)
+	d.byVertex[r.v] = append(d.byVertex[r.v], r)
+	return r
+}
+
+// notePos records that owner's adjacency list is at position pos, filling
+// the endpoint positions of tracked edges incident to owner.
+func (d *detector) notePos(owner graph.V, pos int) {
+	for _, r := range d.byVertex[owner] {
+		if r.dead {
+			continue
+		}
+		if owner == r.u && r.posU < 0 {
+			r.posU = pos
+		} else if owner == r.v && r.posV < 0 {
+			r.posV = pos
+		}
+	}
+}
+
+// flag marks the appearance of nbr inside the current adjacency list.
+func (d *detector) flag(nbr graph.V) {
+	for _, r := range d.byVertex[nbr] {
+		if r.dead {
+			continue
+		}
+		if !r.flagU && !r.flagV {
+			d.dirty = append(d.dirty, r)
+		}
+		if nbr == r.u {
+			r.flagU = true
+		} else {
+			r.flagV = true
+		}
+	}
+}
+
+// finishList invokes emit for every tracked edge both of whose endpoints
+// appeared in the list that just ended (the list owner is a triangle apex
+// for that edge), then clears all flags.
+func (d *detector) finishList(emit func(r *edgeRec)) {
+	for _, r := range d.dirty {
+		if r.flagU && r.flagV && !r.dead {
+			emit(r)
+		}
+		r.flagU, r.flagV = false, false
+	}
+	d.dirty = d.dirty[:0]
+}
+
+// markDead tombstones the record of e (bottom-k eviction). The record stays
+// indexed but is skipped everywhere.
+func (d *detector) markDead(e graph.Edge) *edgeRec {
+	r := d.recs[e]
+	if r != nil {
+		r.dead = true
+	}
+	return r
+}
+
+// len returns the number of live tracked edges.
+func (d *detector) len() int {
+	n := 0
+	for _, r := range d.recs {
+		if !r.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// watcher counts, during a designated pass, the adjacency lists whose owner
+// is adjacent to both x and y and arrives at a position strictly greater
+// than thresh — exactly the quantity H_{e',τ} when thresh is the position of
+// τ's apex with respect to e' = {x,y} (or the exact triangle load T(e') when
+// thresh is 0).
+type watcher struct {
+	x, y   graph.V
+	thresh int
+	// Deferred threshold: when the needed endpoint position is not yet
+	// known at registration time, threshRec/threshAt identify it and the
+	// threshold is resolved at the end of pass one.
+	threshRec *edgeRec
+	threshAt  graph.V
+	flagX     bool
+	flagY     bool
+	count     int64
+	dead      bool
+}
+
+// resolve fills a deferred threshold from the recorded endpoint position.
+func (w *watcher) resolve() {
+	if w.threshRec != nil {
+		w.thresh = w.threshRec.pos(w.threshAt)
+		w.threshRec = nil
+	}
+}
+
+// watchSet is the flag engine for watchers, parallel to detector.
+type watchSet struct {
+	byVertex map[graph.V][]*watcher
+	dirty    []*watcher
+}
+
+func newWatchSet() *watchSet {
+	return &watchSet{byVertex: make(map[graph.V][]*watcher)}
+}
+
+// add registers w for flag lookups on both endpoints.
+func (s *watchSet) add(w *watcher) {
+	s.byVertex[w.x] = append(s.byVertex[w.x], w)
+	s.byVertex[w.y] = append(s.byVertex[w.y], w)
+}
+
+// flag marks the appearance of nbr in the current list.
+func (s *watchSet) flag(nbr graph.V) {
+	for _, w := range s.byVertex[nbr] {
+		if w.dead {
+			continue
+		}
+		if !w.flagX && !w.flagY {
+			s.dirty = append(s.dirty, w)
+		}
+		if nbr == w.x {
+			w.flagX = true
+		} else {
+			w.flagY = true
+		}
+	}
+}
+
+// finishList increments every fully-flagged live watcher whose threshold is
+// below the position of the list that just ended, then clears flags.
+func (s *watchSet) finishList(pos int) {
+	for _, w := range s.dirty {
+		if w.flagX && w.flagY && !w.dead && pos > w.thresh {
+			w.count++
+		}
+		w.flagX, w.flagY = false, false
+	}
+	s.dirty = s.dirty[:0]
+}

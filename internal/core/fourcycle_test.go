@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adjstream/internal/gen"
+	"adjstream/internal/graph"
+	"adjstream/internal/stats"
+	"adjstream/internal/stream"
+)
+
+// With every edge sampled, Σ_w T_w = 4T (each cycle has four wedges, each
+// counted once), so the estimate must be exactly T.
+func TestFourCycleExactOnFullSample(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"C4":       gen.DisjointFourCycles(1),
+		"disjoint": gen.DisjointFourCycles(20),
+		"K44":      gen.CompleteBipartite(4, 4),
+		"K6":       gen.Complete(6),
+		"planted":  gen.PlantedFourCycles(15, 30),
+		"c4free":   gen.DisjointTriangles(10),
+	}
+	for name, g := range cases {
+		want := float64(g.FourCycles())
+		for seed := uint64(0); seed < 3; seed++ {
+			alg, err := NewTwoPassFourCycle(FourCycleConfig{SampleProb: 1, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream.Run(stream.Random(g, seed), alg)
+			if got := alg.Estimate(); got != want {
+				t.Errorf("%s seed %d: estimate = %v, want exactly %v", name, seed, got, want)
+			}
+			if alg.CyclesThroughSampledWedges() != 4*g.FourCycles() {
+				t.Errorf("%s: ΣT_w = %d, want %d", name, alg.CyclesThroughSampledWedges(), 4*g.FourCycles())
+			}
+			if alg.M() != g.M() {
+				t.Errorf("%s: M = %d, want %d", name, alg.M(), g.M())
+			}
+		}
+	}
+}
+
+func TestFourCycleExactQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.ErdosRenyi(12, 0.4, seed%256+1)
+		if err != nil {
+			return false
+		}
+		alg, err := NewTwoPassFourCycle(FourCycleConfig{SampleProb: 1, Seed: 1})
+		if err != nil {
+			return false
+		}
+		stream.Run(stream.Random(g, seed), alg)
+		return alg.Estimate() == float64(g.FourCycles())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The 4-cycle algorithm must work even when the two passes use different
+// stream orders (the paper does not require identical orders here).
+func TestFourCycleDifferentPassOrders(t *testing.T) {
+	g := gen.CompleteBipartite(5, 5)
+	alg, err := NewTwoPassFourCycle(FourCycleConfig{SampleProb: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.RunOrders([]*stream.Stream{stream.Random(g, 1), stream.Random(g, 99)}, alg); err != nil {
+		t.Fatal(err)
+	}
+	if got := alg.Estimate(); got != float64(g.FourCycles()) {
+		t.Fatalf("estimate = %v, want %d", got, g.FourCycles())
+	}
+}
+
+func TestFourCycleApproxUnderSubsampling(t *testing.T) {
+	g, err := gen.BipartiteButterflies(60, 30, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(g.FourCycles())
+	if truth < 20 {
+		t.Fatalf("workload too sparse: T = %v", truth)
+	}
+	s := stream.Random(g, 2)
+	var errs []float64
+	for seed := uint64(0); seed < 40; seed++ {
+		alg, err := NewTwoPassFourCycle(FourCycleConfig{SampleProb: 0.5, Seed: seed + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, alg)
+		errs = append(errs, stats.RelErr(alg.Estimate(), truth))
+	}
+	// O(1)-approximation: median relative error clearly bounded.
+	if q := stats.Quantile(errs, 0.5); q > 0.6 {
+		t.Fatalf("median relative error %v too large", q)
+	}
+}
+
+func TestFourCycleBottomKMode(t *testing.T) {
+	g := gen.DisjointFourCycles(50) // m = 200
+	s := stream.Random(g, 7)
+	var ests []float64
+	for seed := uint64(0); seed < 150; seed++ {
+		alg, err := NewTwoPassFourCycle(FourCycleConfig{SampleSize: 120, Seed: seed + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, alg)
+		est := alg.Estimate()
+		if est < 0 || math.IsNaN(est) || math.IsInf(est, 0) {
+			t.Fatalf("degenerate estimate %v", est)
+		}
+		ests = append(ests, est)
+	}
+	truth := float64(g.FourCycles())
+	if mean := stats.Mean(ests); math.Abs(mean-truth)/truth > 0.25 {
+		t.Fatalf("bottom-k mean %v far from truth %v", mean, truth)
+	}
+}
+
+func TestFourCycleWedgeCap(t *testing.T) {
+	g := gen.CompleteBipartite(8, 8)
+	full, err := NewTwoPassFourCycle(FourCycleConfig{SampleProb: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Sorted(g), full)
+	capped, err := NewTwoPassFourCycle(FourCycleConfig{SampleProb: 1, WedgeCap: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Sorted(g), capped)
+	if capped.WedgesKept() != 10 {
+		t.Fatalf("kept %d wedges, want 10", capped.WedgesKept())
+	}
+	if capped.WedgesFormed() != full.WedgesFormed() {
+		t.Fatalf("formed %d vs %d", capped.WedgesFormed(), full.WedgesFormed())
+	}
+	if capped.SpaceWords() >= full.SpaceWords() {
+		t.Fatalf("capped space %d not below full %d", capped.SpaceWords(), full.SpaceWords())
+	}
+	// Capped estimator remains centered: average over seeds.
+	truth := float64(g.FourCycles())
+	var ests []float64
+	for seed := uint64(0); seed < 200; seed++ {
+		alg, err := NewTwoPassFourCycle(FourCycleConfig{SampleProb: 1, WedgeCap: 30, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(stream.Sorted(g), alg)
+		ests = append(ests, alg.Estimate())
+	}
+	if mean := stats.Mean(ests); math.Abs(mean-truth)/truth > 0.15 {
+		t.Fatalf("capped mean %v far from truth %v", mean, truth)
+	}
+}
+
+func TestFourCycleZeroOnC4Free(t *testing.T) {
+	g := gen.DisjointTriangles(12)
+	alg, err := NewTwoPassFourCycle(FourCycleConfig{SampleProb: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Sorted(g), alg)
+	if got := alg.Estimate(); got != 0 {
+		t.Fatalf("estimate = %v on C4-free graph", got)
+	}
+}
+
+func TestFourCycleConfigValidation(t *testing.T) {
+	bad := []FourCycleConfig{
+		{},
+		{SampleSize: 10, SampleProb: 0.5},
+		{SampleProb: 2},
+		{SampleSize: 5, WedgeCap: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewTwoPassFourCycle(cfg); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+}
+
+func TestClassifyFourCyclesUniform(t *testing.T) {
+	// Disjoint 4-cycles: no heavy edges, no overused wedges, all good.
+	st := ClassifyFourCycles(gen.DisjointFourCycles(30), 40)
+	if st.T != 30 {
+		t.Fatalf("T = %d", st.T)
+	}
+	if st.HeavyEdges != 0 || st.OverusedWedges != 0 || st.BadWedges != 0 {
+		t.Fatalf("unexpected bad structure: %+v", st)
+	}
+	if st.GoodFraction() != 1 {
+		t.Fatalf("good fraction = %v, want 1", st.GoodFraction())
+	}
+}
+
+func TestClassifyFourCyclesDetectsHeavy(t *testing.T) {
+	// K_{2,60}: every 4-cycle uses both left vertices; the wedges centered
+	// at the two left hubs are hot. With a strict constant the structure is
+	// flagged as bad.
+	g := gen.CompleteBipartite(2, 60)
+	st := ClassifyFourCycles(g, 0.5)
+	if st.T != 60*59/2 {
+		t.Fatalf("T = %d, want %d", st.T, 60*59/2)
+	}
+	if st.OverusedWedges == 0 {
+		t.Fatal("expected overused wedges in K_{2,60} at strict threshold")
+	}
+}
+
+func TestClassifyFourCyclesEmpty(t *testing.T) {
+	st := ClassifyFourCycles(gen.DisjointTriangles(5), 40)
+	if st.T != 0 || st.GoodFraction() != 1 {
+		t.Fatalf("unexpected stats on C4-free graph: %+v", st)
+	}
+}
+
+// Lemma 4.2 empirically: the good fraction is bounded away from zero on
+// assorted workloads at the paper's constant 40.
+func TestGoodFractionLowerBoundQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.ErdosRenyi(18, 0.4, seed%128+1)
+		if err != nil {
+			return false
+		}
+		st := ClassifyFourCycles(g, 40)
+		return st.GoodFraction() >= 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"adjstream/internal/gen"
+	"adjstream/internal/graph"
+	"adjstream/internal/stream"
+)
+
+func TestSampledTrianglesFullSampleIsAll(t *testing.T) {
+	g := gen.Complete(7) // T = 35
+	alg, err := NewTwoPassTriangle(TriangleConfig{SampleProb: 1, PairCap: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Random(g, 2), alg)
+	got := alg.SampledTriangles()
+	if int64(len(got)) != g.Triangles() {
+		t.Fatalf("sampled %d triangles, want all %d", len(got), g.Triangles())
+	}
+	seen := map[graph.Triangle]bool{}
+	for _, tr := range got {
+		if seen[tr] {
+			t.Fatalf("triangle %+v returned twice", tr)
+		}
+		seen[tr] = true
+		if !g.HasEdge(tr.A, tr.B) || !g.HasEdge(tr.B, tr.C) || !g.HasEdge(tr.A, tr.C) {
+			t.Fatalf("non-triangle %+v", tr)
+		}
+	}
+}
+
+// Uniformity: under subsampling, each triangle appears with (approximately)
+// equal frequency — the triangle-sampling primitive.
+func TestSampledTrianglesUniform(t *testing.T) {
+	g := gen.DisjointTriangles(12)
+	s := stream.Random(g, 5)
+	freq := map[graph.Triangle]int{}
+	const trials = 600
+	var total int
+	for seed := uint64(0); seed < trials; seed++ {
+		alg, err := NewTwoPassTriangle(TriangleConfig{SampleProb: 0.5, PairCap: 1000, Seed: seed*7 + 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, alg)
+		for _, tr := range alg.SampledTriangles() {
+			freq[tr]++
+			total++
+		}
+	}
+	if len(freq) != 12 {
+		t.Fatalf("only %d distinct triangles sampled", len(freq))
+	}
+	want := float64(total) / 12
+	for tr, c := range freq {
+		if float64(c) < 0.6*want || float64(c) > 1.4*want {
+			t.Fatalf("triangle %+v sampled %d times, expected ≈%.0f", tr, c, want)
+		}
+	}
+}
+
+func TestLocalFourCyclesSumTo4T(t *testing.T) {
+	g := gen.CompleteBipartite(4, 5)
+	var sum int64
+	for _, c := range g.LocalFourCycles() {
+		sum += c
+	}
+	if sum != 4*g.FourCycles() {
+		t.Fatalf("Σ local C4 = %d, want %d", sum, 4*g.FourCycles())
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adjstream/internal/gen"
+	"adjstream/internal/stats"
+	"adjstream/internal/stream"
+)
+
+func TestThreePassExactOnFullSample(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := gen.Complete(8)
+		s := stream.Random(g, seed)
+		alg, err := NewThreePassTriangle(TriangleConfig{SampleProb: 1, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, alg)
+		if got := alg.Estimate(); got != float64(g.Triangles()) {
+			t.Fatalf("seed %d: estimate = %v, want %d", seed, got, g.Triangles())
+		}
+		if alg.PairsCollected() != int(3*g.Triangles()) {
+			t.Fatalf("collected %d pairs, want %d", alg.PairsCollected(), 3*g.Triangles())
+		}
+	}
+}
+
+func TestThreePassExactQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.ErdosRenyi(13, 0.45, seed%256+1)
+		if err != nil {
+			return false
+		}
+		alg, err := NewThreePassTriangle(TriangleConfig{SampleProb: 1, Seed: 1})
+		if err != nil {
+			return false
+		}
+		stream.Run(stream.Random(g, seed), alg)
+		return alg.Estimate() == float64(g.Triangles())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreePassUnbiasedUnderSubsampling(t *testing.T) {
+	g, err := gen.PlantedTriangles(50, 20, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(g.Triangles())
+	s := stream.Random(g, 2)
+	var ests []float64
+	for seed := uint64(0); seed < 250; seed++ {
+		alg, err := NewThreePassTriangle(TriangleConfig{SampleProb: 0.4, Seed: seed*5 + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, alg)
+		ests = append(ests, alg.Estimate())
+	}
+	if mean := stats.Mean(ests); math.Abs(mean-truth)/truth > 0.1 {
+		t.Fatalf("mean = %v, truth = %v", mean, truth)
+	}
+}
+
+// The exact-load three-pass and the H-proxy two-pass must agree exactly
+// under full sampling (both count each triangle once). This is the heart of
+// ablation A2's sanity.
+func TestThreeAndTwoPassAgreeOnFullSample(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		g, err := gen.ErdosRenyi(16, 0.4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := stream.Random(g, seed)
+		three, err := NewThreePassTriangle(TriangleConfig{SampleProb: 1, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, three)
+		two, err := NewTwoPassTriangle(exactCfg(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, two)
+		if three.Estimate() != two.Estimate() {
+			t.Fatalf("seed %d: three-pass %v vs two-pass %v", seed, three.Estimate(), two.Estimate())
+		}
+	}
+}
+
+func TestThreePassBottomK(t *testing.T) {
+	g := gen.DisjointTriangles(40)
+	s := stream.Random(g, 1)
+	alg, err := NewThreePassTriangle(TriangleConfig{SampleSize: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(s, alg)
+	est := alg.Estimate()
+	if est < 0 || math.IsNaN(est) {
+		t.Fatalf("degenerate estimate %v", est)
+	}
+	if alg.M() != g.M() {
+		t.Fatalf("M = %d, want %d", alg.M(), g.M())
+	}
+}
+
+func TestNaiveTwoPassExactAtFullSample(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := gen.Complete(9)
+		alg, err := NewNaiveTwoPass(TriangleConfig{SampleProb: 1, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(stream.Random(g, seed), alg)
+		if got := alg.Estimate(); got != float64(g.Triangles()) {
+			t.Fatalf("estimate = %v, want %d", got, g.Triangles())
+		}
+		if alg.PairsDiscovered() != 3*g.Triangles() {
+			t.Fatalf("pairs = %d, want %d", alg.PairsDiscovered(), 3*g.Triangles())
+		}
+		if !alg.Detected() {
+			t.Fatal("Detected should be true")
+		}
+	}
+}
+
+func TestNaiveDistinguisher(t *testing.T) {
+	// Triangle-free graph: never detects. T-triangle graph with the
+	// paper's m′ = Θ(m/T^{2/3}): detects with good probability.
+	free := gen.CompleteBipartite(20, 20)
+	alg, err := NewNaiveTwoPass(TriangleConfig{SampleSize: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Run(stream.Random(free, 1), alg)
+	if alg.Detected() {
+		t.Fatal("detected a triangle in a triangle-free graph")
+	}
+
+	g := gen.DisjointTriangles(100) // m=300, T=100, m/T^{2/3} ≈ 14
+	detects := 0
+	const trials = 60
+	for seed := uint64(0); seed < trials; seed++ {
+		d, err := NewNaiveTwoPass(TriangleConfig{SampleSize: 60, Seed: seed + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(stream.Random(g, 2), d)
+		if d.Detected() {
+			detects++
+		}
+	}
+	if float64(detects)/trials < 0.9 {
+		t.Fatalf("detected in only %d/%d trials", detects, trials)
+	}
+}
+
+func TestNaiveUnbiasedUnderSubsampling(t *testing.T) {
+	g, err := gen.PlantedTriangles(60, 20, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(g.Triangles())
+	s := stream.Random(g, 3)
+	var ests []float64
+	for seed := uint64(0); seed < 250; seed++ {
+		alg, err := NewNaiveTwoPass(TriangleConfig{SampleProb: 0.4, Seed: seed*7 + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, alg)
+		ests = append(ests, alg.Estimate())
+	}
+	if mean := stats.Mean(ests); math.Abs(mean-truth)/truth > 0.1 {
+		t.Fatalf("mean = %v, truth = %v", mean, truth)
+	}
+}
+
+// Ablation A1: on a heavy-edge (book) workload at equal space, the naive
+// estimator's variance should exceed the lightest-edge estimator's.
+func TestLightestEdgeBeatsNaiveVarianceOnBooks(t *testing.T) {
+	g, err := gen.PlantedBooks(2, 150, 30, 0.3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(g.Triangles())
+	s := stream.Random(g, 9)
+	var naive, smart stats.Running
+	for seed := uint64(0); seed < 120; seed++ {
+		n, err := NewNaiveTwoPass(TriangleConfig{SampleProb: 0.12, Seed: seed + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, n)
+		naive.Add(n.Estimate() - truth)
+
+		l, err := NewTwoPassTriangle(TriangleConfig{SampleProb: 0.12, PairCap: 100000, Seed: seed + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Run(s, l)
+		smart.Add(l.Estimate() - truth)
+	}
+	nv := naive.Variance() + naive.Mean()*naive.Mean()
+	sv := smart.Variance() + smart.Mean()*smart.Mean()
+	if sv >= nv {
+		t.Fatalf("lightest-edge MSE %v not better than naive MSE %v", sv, nv)
+	}
+}

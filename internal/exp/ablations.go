@@ -1,0 +1,241 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"adjstream/internal/baseline"
+	"adjstream/internal/core"
+	"adjstream/internal/gen"
+	"adjstream/internal/graph"
+	"adjstream/internal/stats"
+	"adjstream/internal/stream"
+)
+
+// AblationLightestEdge (A1) compares the naive edge-sample estimator with
+// the lightest-edge two-pass estimator on heavy-edge (planted book)
+// workloads at equal sampling rate: the Section 2.1 motivation.
+func AblationLightestEdge(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:     "A1",
+		Title:  "Lightest-edge rule vs naive counting on heavy-edge graphs",
+		Claim:  "heavy edges blow up the naive estimator's variance; ρ(τ) counting suppresses it (Section 2.1)",
+		Header: []string{"book size h", "T", "max edge load", "p", "naive RMSE/T", "lightest RMSE/T"},
+	}
+	for _, h := range []int{40, 120, 360} {
+		g, err := gen.PlantedBooks(3, h, 30, 0.3, seed)
+		if err != nil {
+			return nil, err
+		}
+		truth := float64(g.Triangles())
+		s := stream.Random(g, seed)
+		const p = 0.15
+		var naive, smart stats.Running
+		for i := 0; i < 120; i++ {
+			n, err := core.NewNaiveTwoPass(core.TriangleConfig{SampleProb: p, Seed: seed + uint64(i)*3 + 1})
+			if err != nil {
+				return nil, err
+			}
+			stream.Run(s, n)
+			naive.Add(n.Estimate() - truth)
+			l, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: p, PairCap: 1 << 20, Seed: seed + uint64(i)*3 + 1})
+			if err != nil {
+				return nil, err
+			}
+			stream.Run(s, l)
+			smart.Add(l.Estimate() - truth)
+		}
+		rmse := func(r stats.Running) float64 {
+			return math.Sqrt(r.Variance()+r.Mean()*r.Mean()) / truth
+		}
+		t.Rows = append(t.Rows, []string{
+			d(int64(h)), d(g.Triangles()), d(g.MaxTriangleLoad()), f2(p),
+			f3(rmse(naive)), f3(rmse(smart)),
+		})
+	}
+	t.Notes = append(t.Notes, "*Naive error grows with the heavy-edge load h; the lightest-edge estimator stays flat.*")
+	return t, nil
+}
+
+// AblationHvsExact (A2) compares the two-pass H_{e,τ} proxy against the
+// three-pass exact T_e loads at equal sampling rate.
+func AblationHvsExact(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:     "A2",
+		Title:  "Stream-order proxy H_{e,τ} (2 passes) vs exact loads T_e (3 passes)",
+		Claim:  "H averages Te/2 across a heavy edge's triangles, so the proxy costs little accuracy while saving a pass (Section 2.1)",
+		Header: []string{"workload", "T", "p", "2-pass median rel. err", "3-pass median rel. err"},
+	}
+	workloads := []struct {
+		name string
+		g    func() (*graph.Graph, error)
+	}{
+		{"planted-books", func() (*graph.Graph, error) { return gen.PlantedBooks(4, 80, 30, 0.3, seed) }},
+		{"planted-uniform", func() (*graph.Graph, error) { return gen.PlantedTriangles(300, 40, 0.3, seed) }},
+		{"erdos-renyi", func() (*graph.Graph, error) { return gen.ErdosRenyi(90, 0.25, seed) }},
+	}
+	for _, w := range workloads {
+		g, err := w.g()
+		if err != nil {
+			return nil, err
+		}
+		truth := float64(g.Triangles())
+		s := stream.Random(g, seed)
+		const p = 0.2
+		var e2, e3 []float64
+		for i := 0; i < 40; i++ {
+			two, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: p, PairCap: 1 << 20, Seed: seed + uint64(i)*5 + 1})
+			if err != nil {
+				return nil, err
+			}
+			stream.Run(s, two)
+			e2 = append(e2, relErr(two.Estimate(), truth))
+			three, err := core.NewThreePassTriangle(core.TriangleConfig{SampleProb: p, Seed: seed + uint64(i)*5 + 1})
+			if err != nil {
+				return nil, err
+			}
+			stream.Run(s, three)
+			e3 = append(e3, relErr(three.Estimate(), truth))
+		}
+		t.Rows = append(t.Rows, []string{w.name, d(g.Triangles()), f2(p), f3(median(e2)), f3(median(e3))})
+	}
+	return t, nil
+}
+
+// AblationGoodCycleFraction (A3) measures Lemma 4.2 empirically: the
+// fraction of 4-cycles containing a good wedge, across workload classes.
+func AblationGoodCycleFraction(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:     "A3",
+		Title:  "Good 4-cycle fraction (Lemma 4.2, constant 40)",
+		Claim:  "|good cycles| = Ω(T): at least a constant fraction of 4-cycles contain a wedge that is neither heavy nor overused",
+		Header: []string{"workload", "T", "heavy edges", "overused wedges", "good fraction"},
+	}
+	workloads := []struct {
+		name string
+		g    func() (*graph.Graph, error)
+	}{
+		{"disjoint-C4", func() (*graph.Graph, error) { return gen.DisjointFourCycles(200), nil }},
+		{"butterflies", func() (*graph.Graph, error) { return gen.BipartiteButterflies(80, 40, 6, seed) }},
+		{"erdos-renyi", func() (*graph.Graph, error) { return gen.ErdosRenyi(60, 0.3, seed) }},
+		{"K(2,80) skew", func() (*graph.Graph, error) { return gen.CompleteBipartite(2, 80), nil }},
+		{"K(2,1200) skew", func() (*graph.Graph, error) { return gen.CompleteBipartite(2, 1200), nil }},
+		{"K(12,12)", func() (*graph.Graph, error) { return gen.CompleteBipartite(12, 12), nil }},
+	}
+	for _, w := range workloads {
+		g, err := w.g()
+		if err != nil {
+			return nil, err
+		}
+		st := core.ClassifyFourCycles(g, 40)
+		t.Rows = append(t.Rows, []string{
+			w.name, d(st.T), d(int64(st.HeavyEdges)), d(int64(st.OverusedWedges)), f3(st.GoodFraction()),
+		})
+	}
+	t.Notes = append(t.Notes, "*Lemma 4.2 proves the fraction is at least 1/50; measured fractions are far higher on these workloads.*")
+	return t, nil
+}
+
+// AblationSamplerKind (A4) compares bottom-k and fixed-probability edge
+// sampling inside the two-pass triangle estimator at matched expected
+// sample size.
+func AblationSamplerKind(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:     "A4",
+		Title:  "Bottom-k vs fixed-probability edge sampling in TwoPassTriangle",
+		Claim:  "both realize the first-sight hash sampling the algorithm needs; bottom-k pins the space exactly",
+		Header: []string{"T", "m", "sample", "bottom-k median rel. err", "fixed-p median rel. err"},
+	}
+	for _, T := range []int{128, 512} {
+		g, err := plantedTriangleWorkload(T, triangleMTarget, seed+uint64(T))
+		if err != nil {
+			return nil, err
+		}
+		s := stream.Random(g, seed)
+		b := budget(8, g.M(), float64(T), 2.0/3.0, 8)
+		p := float64(b) / float64(g.M())
+		var ek, ep []float64
+		for i := 0; i < 30; i++ {
+			bk, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleSize: b, PairCap: b, Seed: seed + uint64(i)*11 + 1})
+			if err != nil {
+				return nil, err
+			}
+			stream.Run(s, bk)
+			ek = append(ek, relErr(bk.Estimate(), float64(T)))
+			fp, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: p, PairCap: b, Seed: seed + uint64(i)*11 + 1})
+			if err != nil {
+				return nil, err
+			}
+			stream.Run(s, fp)
+			ep = append(ep, relErr(fp.Estimate(), float64(T)))
+		}
+		t.Rows = append(t.Rows, []string{d(int64(T)), d(g.M()), d(int64(b)), f3(median(ek)), f3(median(ep))})
+	}
+	return t, nil
+}
+
+// AblationPassCrossover (A5) measures the required sample size of the
+// one-pass and two-pass algorithms on both extremal families. On the
+// Figure 1a family the one-pass estimator needs Θ(m/√T) while the two-pass
+// needs only Θ(m/T); on the Figure 1b family both need Θ(m/T^{2/3}). The
+// worst case over families is therefore m/√T for one pass versus m/T^{2/3}
+// for two passes: the extra pass buys exactly the T^{1/6} factor the paper
+// claims.
+func AblationPassCrossover(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:     "A5",
+		Title:  "1-pass m/√T vs 2-pass m/T^{2/3}: required samples on the extremal families",
+		Claim:  "the extra pass buys a T^{1/6} space factor in the worst case",
+		Header: []string{"family", "T", "m", "1p m′ required", "2p m′ required", "worst-case ratio T^{1/6}"},
+	}
+	type fam struct {
+		name     string
+		workload func(T, mTarget int, seed uint64) (*graph.Graph, error)
+		sweep    []int
+	}
+	fams := []fam{
+		{"fig-1a (hub K_{√T,√T})", pjHardWorkload, []int{1024, 4096, 16384}},
+		{"fig-1b (K_{T^{1/3}}³)", tripartiteWorkload, []int{4096, 32768, 262144}},
+	}
+	exps := make(map[string]float64)
+	for _, f := range fams {
+		var Ts, r1s, r2s []float64
+		for _, T := range f.sweep {
+			g, err := f.workload(T, triangleMTarget, seed+uint64(T))
+			if err != nil {
+				return nil, err
+			}
+			s := stream.Random(g, seed)
+			r1, err := requiredBudget(s, float64(T), g.M(), searchTrials, targetRelErr, func(b int, sd uint64) (stream.Estimator, error) {
+				return baseline.NewOnePassTriangle(baseline.Config{SampleSize: b, Seed: sd + seed})
+			})
+			if err != nil {
+				return nil, err
+			}
+			r2, err := requiredBudget(s, float64(T), g.M(), searchTrials, targetRelErr, func(b int, sd uint64) (stream.Estimator, error) {
+				return core.NewTwoPassTriangle(core.TriangleConfig{SampleSize: b, PairCap: 8 * b, Seed: sd + seed})
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				f.name, d(int64(T)), d(g.M()), d(int64(r1)), d(int64(r2)),
+				f2(math.Pow(float64(T), 1.0/6.0)),
+			})
+			Ts = append(Ts, float64(T))
+			r1s = append(r1s, float64(r1))
+			r2s = append(r2s, float64(r2))
+		}
+		e1, _ := stats.FitPowerLaw(Ts, r1s)
+		e2, _ := stats.FitPowerLaw(Ts, r2s)
+		exps["1p "+f.name] = e1
+		exps["2p "+f.name] = e2
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"*Fitted required-sample exponents vs T — 1-pass: %.2f on fig-1a, %.2f on fig-1b; 2-pass: %.2f on fig-1a, %.2f on fig-1b.*",
+		exps["1p fig-1a (hub K_{√T,√T})"], exps["1p fig-1b (K_{T^{1/3}}³)"],
+		exps["2p fig-1a (hub K_{√T,√T})"], exps["2p fig-1b (K_{T^{1/3}}³)"]))
+	t.Notes = append(t.Notes,
+		"*Each algorithm's worst case is its flatter exponent: one pass is pinned by fig-1a at ≈ T^{-1/2}, two passes by fig-1b at ≈ T^{-2/3} — the extra pass buys the paper's T^{1/6} factor.*")
+	return t, nil
+}

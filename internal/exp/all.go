@@ -1,0 +1,57 @@
+package exp
+
+import "fmt"
+
+// Experiment is a named runnable experiment.
+type Experiment struct {
+	ID  string
+	Run func(seed uint64) (*Table, error)
+}
+
+// Registry lists every experiment in presentation order: the 12 Table 1
+// rows, the Figure 1 summary, and the 5 ablations.
+func Registry() []Experiment {
+	return []Experiment{
+		{"T1.R1", Table1Row1WedgeSampler},
+		{"T1.R2", Table1Row2OnePass},
+		{"T1.R3", Table1Row3EdgeSample},
+		{"T1.R4", Table1Row4ThreePass},
+		{"T1.R5", Table1Row5Distinguisher},
+		{"T1.R6", Table1Row6TwoPassTriangle},
+		{"T1.R7", Table1Row7LowerBoundPJ},
+		{"T1.R8", Table1Row8LowerBound3Disj},
+		{"T1.R9", Table1Row9TwoPassFourCycle},
+		{"T1.R10", Table1Row10LowerBoundIndex},
+		{"T1.R11", Table1Row11LowerBoundDisj},
+		{"T1.R12", Table1Row12LowerBoundLong},
+		{"F1", Figure1Gadgets},
+		{"M1", ModelComparison},
+		{"M2", OrderSensitivity},
+		{"A1", AblationLightestEdge},
+		{"A2", AblationHvsExact},
+		{"A3", AblationGoodCycleFraction},
+		{"A4", AblationSamplerKind},
+		{"A5", AblationPassCrossover},
+		{"A6", AdaptiveVsOracle},
+	}
+}
+
+// Run executes the experiment with the given id, or all of them for "all",
+// returning the tables in order.
+func Run(id string, seed uint64) ([]*Table, error) {
+	var out []*Table
+	for _, e := range Registry() {
+		if id != "all" && e.ID != id {
+			continue
+		}
+		t, err := e.Run(seed)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", e.ID, err)
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("exp: unknown experiment id %q", id)
+	}
+	return out, nil
+}

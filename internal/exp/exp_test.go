@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{
+		ID:     "X",
+		Title:  "test",
+		Claim:  "c",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"*n*"},
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### X — test", "| a | b |", "| 1 | 2 |", "*n*", "*Paper claim:* c"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestWorkloadsExactCounts(t *testing.T) {
+	g, err := plantedTriangleWorkload(50, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Triangles() != 50 {
+		t.Fatalf("planted T = %d", g.Triangles())
+	}
+	g, err = pjHardWorkload(49, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Triangles() != 49 {
+		t.Fatalf("pj T = %d", g.Triangles())
+	}
+	if _, err := pjHardWorkload(50, 3000, 1); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	g, err = tripartiteWorkload(27, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Triangles() != 27 {
+		t.Fatalf("tripartite T = %d", g.Triangles())
+	}
+	if _, err := tripartiteWorkload(26, 3000, 1); err == nil {
+		t.Fatal("expected non-cube error")
+	}
+}
+
+func TestBudgetClamps(t *testing.T) {
+	if got := budget(1, 1000, 1e12, 1, 8); got != 8 {
+		t.Fatalf("low clamp: %d", got)
+	}
+	if got := budget(100, 1000, 1, 1, 8); got != 1000 {
+		t.Fatalf("high clamp: %d", got)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Registry() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// 12 Table 1 rows + Figure 1 + model comparison + 5 ablations.
+	if len(ids) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(ids))
+	}
+	for _, want := range []string{"T1.R1", "T1.R6", "T1.R12", "F1", "M1", "M2", "A1", "A5"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", 1); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+// Smoke tests for the cheaper experiments; the expensive rows are covered
+// by cmd/experiments runs and the benchmarks.
+func TestFigure1GadgetsRuns(t *testing.T) {
+	tab, err := Figure1Gadgets(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+}
+
+func TestLowerBoundRowsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, f := range []func(uint64) (*Table, error){
+		Table1Row7LowerBoundPJ,
+		Table1Row10LowerBoundIndex,
+		Table1Row12LowerBoundLong,
+	} {
+		tab, err := f(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatal("empty table")
+		}
+	}
+}
+
+func TestGoodCycleAblationRuns(t *testing.T) {
+	tab, err := AblationGoodCycleFraction(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"adjstream/internal/baseline"
+	"adjstream/internal/core"
+	"adjstream/internal/stream"
+)
+
+// OrderSensitivity (M2) measures how the stream order affects each
+// algorithm class. The wedge sampler's closure probability depends on
+// within-list order (its 5/2 factor is a random-order average): ascending
+// neighbor order presents each closing item before the wedge-forming item
+// in the shared list (≈ 2 closures per triangle), descending after (≈ 3),
+// random in between (5/2). The paper's adversarial-order algorithms
+// (Theorem 3.7's two-pass, the one-pass edge sampler) must be unaffected.
+func OrderSensitivity(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:     "M2",
+		Title:  "Stream-order sensitivity: adversarial-order algorithms vs the random-order wedge sampler",
+		Claim:  "the paper's algorithms hold under any adjacency-list order; random-order estimators are biased by adversarial within-list order (cf. §1.1 on [17])",
+		Header: []string{"order", "wedge-sampler mean est/T", "two-pass mean est/T", "one-pass mean est/T"},
+	}
+	g, err := plantedTriangleWorkload(200, 6000, seed)
+	if err != nil {
+		return nil, err
+	}
+	truth := float64(g.Triangles())
+	orders := []struct {
+		name string
+		s    func(trial uint64) *stream.Stream
+	}{
+		{"ascending (adversarial -)", func(uint64) *stream.Stream { return stream.Sorted(g) }},
+		{"random", func(trial uint64) *stream.Stream { return stream.Random(g, seed+trial) }},
+		{"descending (adversarial +)", func(uint64) *stream.Stream { return stream.SortedDesc(g) }},
+	}
+	const trials = 80
+	for _, o := range orders {
+		var ws, tp, op float64
+		for i := uint64(0); i < trials; i++ {
+			s := o.s(i)
+			w, err := baseline.NewWedgeSampler(baseline.Config{SampleProb: 0.6, WedgeCap: 1 << 20, Seed: seed + i*3 + 1})
+			if err != nil {
+				return nil, err
+			}
+			stream.Run(s, w)
+			ws += w.Estimate() / truth
+			two, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: 0.6, PairCap: 1 << 20, Seed: seed + i*3 + 1})
+			if err != nil {
+				return nil, err
+			}
+			stream.Run(s, two)
+			tp += two.Estimate() / truth
+			one, err := baseline.NewOnePassTriangle(baseline.Config{SampleProb: 0.6, Seed: seed + i*3 + 1})
+			if err != nil {
+				return nil, err
+			}
+			stream.Run(s, one)
+			op += one.Estimate() / truth
+		}
+		t.Rows = append(t.Rows, []string{o.name, f3(ws / trials), f3(tp / trials), f3(op / trials)})
+	}
+	t.Notes = append(t.Notes,
+		"*Expected wedge-sampler ratios: 2/2.5 = 0.8 ascending, 1.0 random, 3/2.5 = 1.2 descending. The two-pass and one-pass columns stay at 1.0 under every order — their guarantees are adversarial.*")
+	return t, nil
+}

@@ -1,0 +1,78 @@
+// Package exp is the experiment harness: it regenerates, as measured
+// tables, every row of Table 1 and every panel of Figure 1 of the paper,
+// plus the ablations listed in DESIGN.md. cmd/experiments prints these
+// tables; bench_test.go wraps them as benchmarks; EXPERIMENTS.md records
+// their output against the paper's claims.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled experiment result with a Markdown rendering.
+type Table struct {
+	// ID is the experiment id (e.g. "T1.R6", "F1.a", "A3").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Claim is the paper's claim being checked.
+	Claim string
+	// Header holds column names.
+	Header []string
+	// Rows holds the measured cells.
+	Rows [][]string
+	// Notes holds conclusions (fitted exponents, pass/fail remarks).
+	Notes []string
+}
+
+// Markdown renders the table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "*Paper claim:* %s\n\n", t.Claim)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(r, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n%s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header row first, one
+// metadata comment line on top).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", t.ID, t.Title)
+	b.WriteString(strings.Join(csvEscape(t.Header), ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(csvEscape(r), ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func d(x int64) string    { return fmt.Sprintf("%d", x) }

@@ -1,0 +1,264 @@
+package ff
+
+import "fmt"
+
+// GF is the arithmetic interface shared by prime fields (Field) and
+// prime-power extension fields (Ext). Elements are int64 values in
+// [0, Order()): for prime fields the residues themselves, for extensions
+// the base-p digit encoding of the coefficient vector.
+type GF interface {
+	// Order returns the number of field elements q.
+	Order() int64
+	// Add returns a+b.
+	Add(a, b int64) int64
+	// Sub returns a-b.
+	Sub(a, b int64) int64
+	// Neg returns -a.
+	Neg(a int64) int64
+	// Mul returns a·b.
+	Mul(a, b int64) int64
+	// Inv returns a⁻¹ or an error for a = 0.
+	Inv(a int64) (int64, error)
+	// Dot3 returns the dot product of two length-3 vectors.
+	Dot3(a, b [3]int64) int64
+}
+
+// Order implements GF for the prime field.
+func (f *Field) Order() int64 { return f.p }
+
+var _ GF = (*Field)(nil)
+
+// Ext is the extension field GF(p^k), k ≥ 2, built as GF(p)[x]/(irr) for a
+// deterministically chosen monic irreducible irr of degree k. Elements are
+// encoded as base-p digit strings: element e represents the polynomial
+// Σ digit_i(e)·x^i. Multiplication uses precomputed reduction tables for
+// x^k..x^{2k-2}, so Mul is O(k²).
+type Ext struct {
+	p   int64
+	k   int
+	q   int64 // p^k
+	f   *Field
+	irr poly
+	// red[j] is x^{k+j} mod irr, for j in [0, k-1).
+	red []poly
+}
+
+var _ GF = (*Ext)(nil)
+
+// NewExt constructs GF(p^k). p must be prime and k ≥ 2; p^k must fit
+// comfortably in an int64 (this implementation targets small fields).
+func NewExt(p int64, k int) (*Ext, error) {
+	f, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("ff: extension degree %d < 2 (use New for prime fields)", k)
+	}
+	if k > 20 {
+		return nil, fmt.Errorf("ff: extension degree %d too large", k)
+	}
+	q := ipow(p, k)
+	if q > 1<<20 {
+		return nil, fmt.Errorf("ff: field order %d too large for this implementation", q)
+	}
+	irr, err := f.findIrreducible(k)
+	if err != nil {
+		return nil, err
+	}
+	e := &Ext{p: p, k: k, q: q, f: f, irr: irr}
+	// red[j] = x^{k+j} mod irr, for the table-driven reduction in Mul.
+	for j := 0; j < k-1; j++ {
+		xp := make(poly, k+j+1)
+		xp[k+j] = 1
+		m, err := f.polyMod(xp, irr)
+		if err != nil {
+			return nil, err
+		}
+		e.red = append(e.red, m)
+	}
+	return e, nil
+}
+
+// Order implements GF.
+func (e *Ext) Order() int64 { return e.q }
+
+// P returns the characteristic.
+func (e *Ext) P() int64 { return e.p }
+
+// Degree returns the extension degree k.
+func (e *Ext) Degree() int { return e.k }
+
+// Irreducible returns a copy of the modulus polynomial (low-degree first).
+func (e *Ext) Irreducible() []int64 {
+	out := make([]int64, len(e.irr))
+	copy(out, e.irr)
+	return out
+}
+
+// digits decodes an element into its coefficient vector of length k.
+func (e *Ext) digits(a int64) []int64 {
+	a = e.normElem(a)
+	d := make([]int64, e.k)
+	for i := 0; i < e.k; i++ {
+		d[i] = a % e.p
+		a /= e.p
+	}
+	return d
+}
+
+// encode packs a coefficient slice (length ≤ k after reduction) into an
+// element.
+func (e *Ext) encode(c []int64) int64 {
+	var out int64
+	for i := e.k - 1; i >= 0; i-- {
+		var v int64
+		if i < len(c) {
+			v = c[i]
+		}
+		out = out*e.p + v
+	}
+	return out
+}
+
+func (e *Ext) normElem(a int64) int64 {
+	a %= e.q
+	if a < 0 {
+		a += e.q
+	}
+	return a
+}
+
+// Add implements GF (digit-wise addition mod p).
+func (e *Ext) Add(a, b int64) int64 {
+	da, db := e.digits(a), e.digits(b)
+	for i := range da {
+		da[i] = e.f.Add(da[i], db[i])
+	}
+	return e.encode(da)
+}
+
+// Sub implements GF.
+func (e *Ext) Sub(a, b int64) int64 {
+	da, db := e.digits(a), e.digits(b)
+	for i := range da {
+		da[i] = e.f.Sub(da[i], db[i])
+	}
+	return e.encode(da)
+}
+
+// Neg implements GF.
+func (e *Ext) Neg(a int64) int64 {
+	da := e.digits(a)
+	for i := range da {
+		da[i] = e.f.Neg(da[i])
+	}
+	return e.encode(da)
+}
+
+// Mul implements GF: schoolbook polynomial product followed by table-driven
+// reduction of the high coefficients.
+func (e *Ext) Mul(a, b int64) int64 {
+	da, db := e.digits(a), e.digits(b)
+	prod := make([]int64, 2*e.k-1)
+	for i, x := range da {
+		if x == 0 {
+			continue
+		}
+		for j, y := range db {
+			if y == 0 {
+				continue
+			}
+			prod[i+j] = e.f.Add(prod[i+j], e.f.Mul(x, y))
+		}
+	}
+	// Reduce degrees ≥ k using red[j] = x^{k+j} mod irr, top down.
+	for idx := len(prod) - 1; idx >= e.k; idx-- {
+		c := prod[idx]
+		if c == 0 {
+			continue
+		}
+		prod[idx] = 0
+		rp := e.red[idx-e.k]
+		for i, rc := range rp {
+			prod[i] = e.f.Add(prod[i], e.f.Mul(c, rc))
+		}
+	}
+	return e.encode(prod[:e.k])
+}
+
+// Pow returns a^n for n ≥ 0.
+func (e *Ext) Pow(a int64, n int64) int64 {
+	if n < 0 {
+		panic("ff: negative exponent")
+	}
+	r := int64(1)
+	base := e.normElem(a)
+	for n > 0 {
+		if n&1 == 1 {
+			r = e.Mul(r, base)
+		}
+		base = e.Mul(base, base)
+		n >>= 1
+	}
+	return r
+}
+
+// Inv implements GF via Lagrange: a^{q-2}.
+func (e *Ext) Inv(a int64) (int64, error) {
+	if e.normElem(a) == 0 {
+		return 0, fmt.Errorf("ff: zero has no inverse in GF(%d)", e.q)
+	}
+	return e.Pow(a, e.q-2), nil
+}
+
+// Dot3 implements GF.
+func (e *Ext) Dot3(a, b [3]int64) int64 {
+	return e.Add(e.Add(e.Mul(a[0], b[0]), e.Mul(a[1], b[1])), e.Mul(a[2], b[2]))
+}
+
+// ForOrder returns a field of the given order q: the prime field when q is
+// prime, an extension field when q is a prime power, and an error
+// otherwise.
+func ForOrder(q int64) (GF, error) {
+	if q < 2 {
+		return nil, fmt.Errorf("ff: order %d < 2", q)
+	}
+	p, k, ok := primePower(q)
+	if !ok {
+		return nil, fmt.Errorf("ff: %d is not a prime power", q)
+	}
+	if k == 1 {
+		return New(p)
+	}
+	return NewExt(p, k)
+}
+
+// primePower factors q as p^k for prime p, reporting ok=false when q is not
+// a prime power.
+func primePower(q int64) (p int64, k int, ok bool) {
+	if q < 2 {
+		return 0, 0, false
+	}
+	n := q
+	for d := int64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			p = d
+			for n%d == 0 {
+				n /= d
+				k++
+			}
+			if n != 1 {
+				return 0, 0, false
+			}
+			return p, k, true
+		}
+	}
+	return q, 1, true // q itself is prime
+}
+
+// IsPrimePower reports whether q = p^k for a prime p and k ≥ 1.
+func IsPrimePower(q int64) bool {
+	_, _, ok := primePower(q)
+	return ok
+}

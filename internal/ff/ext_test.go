@@ -1,0 +1,243 @@
+package ff
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimePower(t *testing.T) {
+	cases := []struct {
+		q     int64
+		p     int64
+		k     int
+		isPow bool
+	}{
+		{2, 2, 1, true}, {3, 3, 1, true}, {4, 2, 2, true}, {8, 2, 3, true},
+		{9, 3, 2, true}, {16, 2, 4, true}, {25, 5, 2, true}, {27, 3, 3, true},
+		{6, 0, 0, false}, {12, 0, 0, false}, {1, 0, 0, false}, {0, 0, 0, false},
+		{100, 0, 0, false}, {121, 11, 2, true},
+	}
+	for _, c := range cases {
+		p, k, ok := primePower(c.q)
+		if ok != c.isPow {
+			t.Errorf("primePower(%d): ok=%v, want %v", c.q, ok, c.isPow)
+			continue
+		}
+		if ok && (p != c.p || k != c.k) {
+			t.Errorf("primePower(%d) = %d^%d, want %d^%d", c.q, p, k, c.p, c.k)
+		}
+		if IsPrimePower(c.q) != c.isPow {
+			t.Errorf("IsPrimePower(%d) = %v", c.q, !c.isPow)
+		}
+	}
+}
+
+func TestFindIrreducible(t *testing.T) {
+	f, _ := New(2)
+	irr, err := f.findIrreducible(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if irr.deg() != 3 || irr[3] != 1 {
+		t.Fatalf("irr = %v", irr)
+	}
+	// Verify: no roots in GF(2) (necessary for degree ≤ 3 irreducibility).
+	for x := int64(0); x < 2; x++ {
+		var v int64
+		for i := len(irr) - 1; i >= 0; i-- {
+			v = f.Add(f.Mul(v, x), irr[i])
+		}
+		if v == 0 {
+			t.Fatalf("irreducible %v has root %d", irr, x)
+		}
+	}
+}
+
+func TestPolyArithmetic(t *testing.T) {
+	f, _ := New(5)
+	a := poly{1, 2}    // 1 + 2x
+	b := poly{3, 0, 1} // 3 + x²
+	sum := f.polyAdd(a, b)
+	if len(sum) != 3 || sum[0] != 4 || sum[1] != 2 || sum[2] != 1 {
+		t.Fatalf("sum = %v", sum)
+	}
+	prod := f.polyMul(a, b) // 3 + 6x + x² + 2x³ = 3 + x + x² + 2x³ mod 5
+	want := poly{3, 1, 1, 2}
+	if len(prod) != len(want) {
+		t.Fatalf("prod = %v", prod)
+	}
+	for i := range want {
+		if prod[i] != want[i] {
+			t.Fatalf("prod = %v, want %v", prod, want)
+		}
+	}
+	r, err := f.polyMod(prod, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// prod = a·b so prod mod a = 0.
+	if len(r) != 0 {
+		t.Fatalf("prod mod a = %v, want 0", r)
+	}
+	if _, err := f.polyMod(a, poly{}); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func testFieldAxioms(t *testing.T, e GF, name string) {
+	t.Helper()
+	q := e.Order()
+	// Additive and multiplicative identities, inverses, distributivity —
+	// exhaustively for small q.
+	for a := int64(0); a < q; a++ {
+		if e.Add(a, 0) != a {
+			t.Fatalf("%s: a+0 ≠ a for a=%d", name, a)
+		}
+		if e.Mul(a, 1) != a {
+			t.Fatalf("%s: a·1 ≠ a for a=%d", name, a)
+		}
+		if e.Add(a, e.Neg(a)) != 0 {
+			t.Fatalf("%s: a+(-a) ≠ 0 for a=%d", name, a)
+		}
+		if a != 0 {
+			inv, err := e.Inv(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Mul(a, inv) != 1 {
+				t.Fatalf("%s: a·a⁻¹ ≠ 1 for a=%d (inv=%d)", name, a, inv)
+			}
+		}
+	}
+	if _, err := e.Inv(0); err == nil {
+		t.Fatalf("%s: Inv(0) should fail", name)
+	}
+	for a := int64(0); a < q; a++ {
+		for b := int64(0); b < q; b++ {
+			if e.Add(a, b) != e.Add(b, a) || e.Mul(a, b) != e.Mul(b, a) {
+				t.Fatalf("%s: commutativity fails at %d,%d", name, a, b)
+			}
+			if e.Sub(a, b) != e.Add(a, e.Neg(b)) {
+				t.Fatalf("%s: Sub inconsistent at %d,%d", name, a, b)
+			}
+			for c := int64(0); c < q; c += 3 {
+				if e.Mul(a, e.Add(b, c)) != e.Add(e.Mul(a, b), e.Mul(a, c)) {
+					t.Fatalf("%s: distributivity fails at %d,%d,%d", name, a, b, c)
+				}
+				if e.Mul(e.Mul(a, b), c) != e.Mul(a, e.Mul(b, c)) {
+					t.Fatalf("%s: associativity fails at %d,%d,%d", name, a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestExtFieldAxioms(t *testing.T) {
+	cases := []struct {
+		p int64
+		k int
+	}{
+		{2, 2}, {2, 3}, {3, 2}, {2, 4}, {5, 2},
+	}
+	for _, c := range cases {
+		e, err := NewExt(c.p, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Order() != ipow(c.p, c.k) {
+			t.Fatalf("GF(%d^%d): order = %d", c.p, c.k, e.Order())
+		}
+		if e.P() != c.p || e.Degree() != c.k {
+			t.Fatalf("GF(%d^%d): P=%d Degree=%d", c.p, c.k, e.P(), e.Degree())
+		}
+		testFieldAxioms(t, e, itoa(c.p, c.k))
+	}
+}
+
+func itoa(p int64, k int) string { return string(rune('0'+p)) + "^" + string(rune('0'+k)) }
+
+func TestExtMultiplicativeOrder(t *testing.T) {
+	// Every nonzero element satisfies a^{q-1} = 1 (Lagrange).
+	e, err := NewExt(3, 2) // GF(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := int64(1); a < 9; a++ {
+		if e.Pow(a, 8) != 1 {
+			t.Fatalf("a=%d: a^8 = %d ≠ 1", a, e.Pow(a, 8))
+		}
+	}
+}
+
+func TestExtRejectsBadParams(t *testing.T) {
+	if _, err := NewExt(4, 2); err == nil {
+		t.Fatal("expected error for composite characteristic")
+	}
+	if _, err := NewExt(2, 1); err == nil {
+		t.Fatal("expected error for degree 1")
+	}
+	if _, err := NewExt(2, 25); err == nil {
+		t.Fatal("expected error for huge degree")
+	}
+}
+
+func TestForOrder(t *testing.T) {
+	for _, q := range []int64{2, 3, 4, 5, 7, 8, 9, 11, 16, 25, 27} {
+		f, err := ForOrder(q)
+		if err != nil {
+			t.Fatalf("ForOrder(%d): %v", q, err)
+		}
+		if f.Order() != q {
+			t.Fatalf("ForOrder(%d).Order() = %d", q, f.Order())
+		}
+	}
+	for _, q := range []int64{0, 1, 6, 10, 12, 100} {
+		if _, err := ForOrder(q); err == nil {
+			t.Fatalf("ForOrder(%d) should fail", q)
+		}
+	}
+}
+
+func TestExtDot3(t *testing.T) {
+	e, err := NewExt(2, 2) // GF(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In characteristic 2, ⟨v,v⟩ = v0²+v1²+v2².
+	v := [3]int64{1, 2, 3}
+	want := e.Add(e.Add(e.Mul(1, 1), e.Mul(2, 2)), e.Mul(3, 3))
+	if got := e.Dot3(v, v); got != want {
+		t.Fatalf("Dot3 = %d, want %d", got, want)
+	}
+}
+
+func TestExtPowNegativePanics(t *testing.T) {
+	e, _ := NewExt(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Pow(1, -1)
+}
+
+// Property: the Frobenius map a ↦ a^p is additive in GF(p^k).
+func TestFrobeniusAdditiveQuick(t *testing.T) {
+	e, err := NewExt(3, 3) // GF(27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b int64) bool {
+		a, b = a%27, b%27
+		if a < 0 {
+			a += 27
+		}
+		if b < 0 {
+			b += 27
+		}
+		return e.Pow(e.Add(a, b), 3) == e.Add(e.Pow(a, 3), e.Pow(b, 3))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

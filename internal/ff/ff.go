@@ -1,0 +1,117 @@
+// Package ff implements arithmetic in prime fields GF(p). It is the
+// algebraic substrate for the projective ("field") planes of Section 5.2 of
+// the paper, whose incidence graphs are the extremal 4-cycle-free graphs
+// used in the 4-cycle lower bound reductions.
+package ff
+
+import "fmt"
+
+// Field is the prime field GF(p). Elements are int64 values in [0, p).
+type Field struct {
+	p int64
+}
+
+// New returns GF(p). p must be prime.
+func New(p int64) (*Field, error) {
+	if p < 2 {
+		return nil, fmt.Errorf("ff: %d is not a prime", p)
+	}
+	if !IsPrime(p) {
+		return nil, fmt.Errorf("ff: %d is not a prime", p)
+	}
+	return &Field{p: p}, nil
+}
+
+// IsPrime reports whether n is prime, by trial division (adequate for the
+// plane orders used here).
+func IsPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := int64(3); d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// P returns the field characteristic (and order).
+func (f *Field) P() int64 { return f.p }
+
+// norm reduces x into [0, p).
+func (f *Field) norm(x int64) int64 {
+	x %= f.p
+	if x < 0 {
+		x += f.p
+	}
+	return x
+}
+
+// Add returns a+b in GF(p).
+func (f *Field) Add(a, b int64) int64 { return f.norm(a + b) }
+
+// Sub returns a-b in GF(p).
+func (f *Field) Sub(a, b int64) int64 { return f.norm(a - b) }
+
+// Neg returns -a in GF(p).
+func (f *Field) Neg(a int64) int64 { return f.norm(-a) }
+
+// Mul returns a·b in GF(p).
+func (f *Field) Mul(a, b int64) int64 { return f.norm(f.norm(a) * f.norm(b)) }
+
+// Pow returns a^e in GF(p) for e ≥ 0 by binary exponentiation.
+func (f *Field) Pow(a int64, e int64) int64 {
+	if e < 0 {
+		panic("ff: negative exponent")
+	}
+	a = f.norm(a)
+	r := int64(1 % f.p)
+	for e > 0 {
+		if e&1 == 1 {
+			r = f.Mul(r, a)
+		}
+		a = f.Mul(a, a)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns the multiplicative inverse of a. It returns an error for a=0.
+func (f *Field) Inv(a int64) (int64, error) {
+	a = f.norm(a)
+	if a == 0 {
+		return 0, fmt.Errorf("ff: zero has no inverse in GF(%d)", f.p)
+	}
+	// Fermat: a^(p-2).
+	return f.Pow(a, f.p-2), nil
+}
+
+// Div returns a/b. It returns an error for b=0.
+func (f *Field) Div(a, b int64) (int64, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return 0, err
+	}
+	return f.Mul(a, bi), nil
+}
+
+// Dot3 returns the GF(p) dot product of two length-3 vectors; used for
+// point–line incidence in PG(2,p).
+func (f *Field) Dot3(a, b [3]int64) int64 {
+	return f.norm(f.Mul(a[0], b[0]) + f.Mul(a[1], b[1]) + f.Mul(a[2], b[2]))
+}
+
+// PrimeAtLeast returns the smallest prime ≥ n (n ≥ 2).
+func PrimeAtLeast(n int64) int64 {
+	if n < 2 {
+		n = 2
+	}
+	for !IsPrime(n) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+package ff
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrime(t *testing.T) {
+	primes := []int64{2, 3, 5, 7, 11, 13, 101, 7919}
+	composites := []int64{0, 1, 4, 9, 15, 100, 7917}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false", p)
+		}
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true", c)
+		}
+	}
+}
+
+func TestNewRejectsComposite(t *testing.T) {
+	for _, n := range []int64{-1, 0, 1, 4, 6, 9} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) should fail", n)
+		}
+	}
+}
+
+func TestPrimeAtLeast(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{0, 2}, {2, 2}, {3, 3}, {4, 5}, {8, 11}, {14, 17}, {100, 101},
+	}
+	for _, c := range cases {
+		if got := PrimeAtLeast(c.in); got != c.want {
+			t.Errorf("PrimeAtLeast(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFieldArithmetic(t *testing.T) {
+	f, err := New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.P() != 7 {
+		t.Fatalf("P = %d", f.P())
+	}
+	if f.Add(5, 4) != 2 {
+		t.Error("5+4 mod 7")
+	}
+	if f.Sub(2, 5) != 4 {
+		t.Error("2-5 mod 7")
+	}
+	if f.Neg(3) != 4 {
+		t.Error("-3 mod 7")
+	}
+	if f.Mul(4, 5) != 6 {
+		t.Error("4·5 mod 7")
+	}
+	if f.Mul(-1, 3) != 4 {
+		t.Error("Mul should normalize negatives")
+	}
+	if f.Pow(3, 6) != 1 {
+		t.Error("Fermat: 3^6 = 1 mod 7")
+	}
+	if f.Pow(0, 0) != 1 {
+		t.Error("0^0 = 1 by convention")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for _, p := range []int64{2, 3, 5, 13, 101} {
+		f, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := int64(1); a < p; a++ {
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Mul(a, inv) != 1 {
+				t.Fatalf("GF(%d): %d·%d ≠ 1", p, a, inv)
+			}
+		}
+		if _, err := f.Inv(0); err == nil {
+			t.Fatalf("GF(%d): Inv(0) should fail", p)
+		}
+	}
+}
+
+func TestDiv(t *testing.T) {
+	f, _ := New(11)
+	q, err := f.Div(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mul(q, 3) != 7 {
+		t.Fatalf("Div: %d·3 ≠ 7 mod 11", q)
+	}
+	if _, err := f.Div(1, 0); err == nil {
+		t.Fatal("Div by zero should fail")
+	}
+}
+
+func TestDot3(t *testing.T) {
+	f, _ := New(5)
+	if got := f.Dot3([3]int64{1, 2, 3}, [3]int64{4, 0, 2}); got != 0 {
+		t.Fatalf("Dot3 = %d, want 0 (4+0+6=10≡0)", got)
+	}
+	if got := f.Dot3([3]int64{1, 1, 1}, [3]int64{1, 1, 1}); got != 3 {
+		t.Fatalf("Dot3 = %d, want 3", got)
+	}
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	f, _ := New(1009)
+	p := f.P()
+	assoc := func(a, b, c int64) bool {
+		a, b, c = a%p, b%p, c%p
+		return f.Mul(f.Mul(a, b), c) == f.Mul(a, f.Mul(b, c)) &&
+			f.Add(f.Add(a, b), c) == f.Add(a, f.Add(b, c))
+	}
+	distr := func(a, b, c int64) bool {
+		a, b, c = a%p, b%p, c%p
+		return f.Mul(a, f.Add(b, c)) == f.Add(f.Mul(a, b), f.Mul(a, c))
+	}
+	if err := quick.Check(assoc, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(distr, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowNegativePanics(t *testing.T) {
+	f, _ := New(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative exponent")
+		}
+	}()
+	f.Pow(2, -1)
+}

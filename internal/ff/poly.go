@@ -1,0 +1,249 @@
+package ff
+
+import "fmt"
+
+// poly is a polynomial over GF(p), coefficients low-degree first, always
+// normalized (no trailing zeros). The zero polynomial is the empty slice.
+type poly []int64
+
+// normPoly trims trailing zero coefficients.
+func normPoly(a poly) poly {
+	n := len(a)
+	for n > 0 && a[n-1] == 0 {
+		n--
+	}
+	return a[:n]
+}
+
+// deg returns the degree, with -1 for the zero polynomial.
+func (a poly) deg() int { return len(a) - 1 }
+
+// polyAdd returns a+b over GF(p).
+func (f *Field) polyAdd(a, b poly) poly {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(poly, n)
+	for i := 0; i < n; i++ {
+		var x, y int64
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		out[i] = f.Add(x, y)
+	}
+	return normPoly(out)
+}
+
+// polySub returns a-b over GF(p).
+func (f *Field) polySub(a, b poly) poly {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(poly, n)
+	for i := 0; i < n; i++ {
+		var x, y int64
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		out[i] = f.Sub(x, y)
+	}
+	return normPoly(out)
+}
+
+// polyMul returns a·b over GF(p).
+func (f *Field) polyMul(a, b poly) poly {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make(poly, len(a)+len(b)-1)
+	for i, x := range a {
+		if x == 0 {
+			continue
+		}
+		for j, y := range b {
+			out[i+j] = f.Add(out[i+j], f.Mul(x, y))
+		}
+	}
+	return normPoly(out)
+}
+
+// polyMod returns a mod b over GF(p). b must be nonzero.
+func (f *Field) polyMod(a, b poly) (poly, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("ff: polynomial division by zero")
+	}
+	lead := b[len(b)-1]
+	leadInv, err := f.Inv(lead)
+	if err != nil {
+		return nil, err
+	}
+	r := make(poly, len(a))
+	copy(r, a)
+	r = normPoly(r)
+	for r.deg() >= b.deg() {
+		shift := r.deg() - b.deg()
+		c := f.Mul(r[len(r)-1], leadInv)
+		for i, bc := range b {
+			r[shift+i] = f.Sub(r[shift+i], f.Mul(c, bc))
+		}
+		r = normPoly(r)
+	}
+	return r, nil
+}
+
+// polyMulMod returns a·b mod m.
+func (f *Field) polyMulMod(a, b, m poly) (poly, error) {
+	return f.polyMod(f.polyMul(a, b), m)
+}
+
+// polyPowMod returns a^e mod m by binary exponentiation.
+func (f *Field) polyPowMod(a poly, e int64, m poly) (poly, error) {
+	r := poly{1}
+	base := a
+	var err error
+	base, err = f.polyMod(base, m)
+	if err != nil {
+		return nil, err
+	}
+	for e > 0 {
+		if e&1 == 1 {
+			r, err = f.polyMulMod(r, base, m)
+			if err != nil {
+				return nil, err
+			}
+		}
+		base, err = f.polyMulMod(base, base, m)
+		if err != nil {
+			return nil, err
+		}
+		e >>= 1
+	}
+	return r, nil
+}
+
+// polyGCD returns gcd(a, b) (monic).
+func (f *Field) polyGCD(a, b poly) (poly, error) {
+	for len(b) > 0 {
+		r, err := f.polyMod(a, b)
+		if err != nil {
+			return nil, err
+		}
+		a, b = b, r
+	}
+	if len(a) == 0 {
+		return a, nil
+	}
+	// Make monic.
+	inv, err := f.Inv(a[len(a)-1])
+	if err != nil {
+		return nil, err
+	}
+	out := make(poly, len(a))
+	for i, c := range a {
+		out[i] = f.Mul(c, inv)
+	}
+	return out, nil
+}
+
+// ipow returns base^e for small non-negative integer exponents.
+func ipow(base int64, e int) int64 {
+	r := int64(1)
+	for i := 0; i < e; i++ {
+		r *= base
+	}
+	return r
+}
+
+// isIrreducible applies Rabin's test: a monic f of degree k over GF(p) is
+// irreducible iff x^{p^k} ≡ x (mod f) and, for every prime divisor q of k,
+// gcd(x^{p^{k/q}} − x, f) = 1.
+func (f *Field) isIrreducible(fp poly) (bool, error) {
+	k := fp.deg()
+	if k < 1 {
+		return false, nil
+	}
+	x := poly{0, 1}
+	// x^{p^k} mod f via repeated p-th powering.
+	pow := x
+	var err error
+	for i := 0; i < k; i++ {
+		pow, err = f.polyPowMod(pow, f.p, fp)
+		if err != nil {
+			return false, err
+		}
+	}
+	if diff := f.polySub(pow, x); len(diff) != 0 {
+		return false, nil
+	}
+	for _, q := range primeDivisors(k) {
+		pow = x
+		for i := 0; i < k/q; i++ {
+			pow, err = f.polyPowMod(pow, f.p, fp)
+			if err != nil {
+				return false, err
+			}
+		}
+		g, err := f.polyGCD(fp, f.polySub(pow, x))
+		if err != nil {
+			return false, err
+		}
+		if g.deg() != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func primeDivisors(n int) []int {
+	var out []int
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+			for n%d == 0 {
+				n /= d
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// findIrreducible returns a monic irreducible polynomial of degree k over
+// GF(p) by deterministic exhaustive search (adequate for the small p^k this
+// repository uses).
+func (f *Field) findIrreducible(k int) (poly, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ff: degree %d < 1", k)
+	}
+	if k == 1 {
+		return poly{0, 1}, nil // x
+	}
+	total := ipow(f.p, k)
+	for c := int64(0); c < total; c++ {
+		cand := make(poly, k+1)
+		cand[k] = 1
+		v := c
+		for i := 0; i < k; i++ {
+			cand[i] = v % f.p
+			v /= f.p
+		}
+		ok, err := f.isIrreducible(cand)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("ff: no irreducible polynomial of degree %d over GF(%d)", k, f.p)
+}

@@ -1,0 +1,347 @@
+// Package gen provides deterministic synthetic graph generators: the
+// workloads for every experiment in this repository. The paper is pure
+// theory and ships no datasets, so the generators are designed to expose the
+// quantities its bounds depend on — the edge count m, the cycle count T, the
+// heavy-edge skew that motivates the lightest-edge rule, and the wedge count
+// P2 — as directly controllable parameters.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"adjstream/internal/graph"
+)
+
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x2b992ddfa23249d6))
+}
+
+// ErdosRenyi returns G(n,p) on vertices 0..n-1.
+func ErdosRenyi(n int, p float64, seed uint64) (*graph.Graph, error) {
+	if n < 0 || p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: bad G(n,p) parameters n=%d p=%v", n, p)
+	}
+	rng := newRNG(seed)
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.V(i))
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				_ = b.Add(graph.V(i), graph.V(j))
+			}
+		}
+	}
+	return b.Graph(), nil
+}
+
+// GNM returns a uniform graph with n vertices and exactly m distinct edges.
+func GNM(n int, m int64, seed uint64) (*graph.Graph, error) {
+	maxM := int64(n) * int64(n-1) / 2
+	if n < 0 || m < 0 || m > maxM {
+		return nil, fmt.Errorf("gen: bad G(n,m) parameters n=%d m=%d", n, m)
+	}
+	rng := newRNG(seed)
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.V(i))
+	}
+	for b.M() < m {
+		u := graph.V(rng.IntN(n))
+		v := graph.V(rng.IntN(n))
+		b.AddIfAbsent(u, v)
+	}
+	return b.Graph(), nil
+}
+
+// Complete returns K_n on vertices 0..n-1.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.V(i))
+		for j := i + 1; j < n; j++ {
+			_ = b.Add(graph.V(i), graph.V(j))
+		}
+	}
+	return b.Graph()
+}
+
+// CompleteBipartite returns K_{a,b} with left side 0..a-1 and right side
+// a..a+b-1.
+func CompleteBipartite(a, b int) *graph.Graph {
+	bld := graph.NewBuilder()
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			_ = bld.Add(graph.V(i), graph.V(a+j))
+		}
+	}
+	return bld.Graph()
+}
+
+// RandomBipartite returns a bipartite graph with sides of size a and b where
+// each cross edge is present independently with probability p.
+func RandomBipartite(a, b int, p float64, seed uint64) (*graph.Graph, error) {
+	if a < 0 || b < 0 || p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: bad bipartite parameters a=%d b=%d p=%v", a, b, p)
+	}
+	rng := newRNG(seed)
+	bld := graph.NewBuilder()
+	for i := 0; i < a; i++ {
+		bld.AddVertex(graph.V(i))
+	}
+	for j := 0; j < b; j++ {
+		bld.AddVertex(graph.V(a + j))
+	}
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			if rng.Float64() < p {
+				_ = bld.Add(graph.V(i), graph.V(a+j))
+			}
+		}
+	}
+	return bld.Graph(), nil
+}
+
+// ChungLu returns a Chung–Lu random graph whose expected degree sequence
+// follows a power law with exponent gamma (> 2) and maximum expected degree
+// maxDeg. Edge {i,j} is included with probability min(1, w_i w_j / Σw).
+// This is the skewed, heavy-edge-prone workload class that motivates the
+// paper's variance-reduction machinery.
+func ChungLu(n int, gamma float64, maxDeg float64, seed uint64) (*graph.Graph, error) {
+	if n <= 0 || gamma <= 2 || maxDeg < 1 {
+		return nil, fmt.Errorf("gen: bad Chung–Lu parameters n=%d gamma=%v maxDeg=%v", n, gamma, maxDeg)
+	}
+	rng := newRNG(seed)
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		// w_i = maxDeg · (i+1)^{-1/(gamma-1)}: a power-law weight sequence.
+		w[i] = maxDeg * math.Pow(float64(i+1), -1/(gamma-1))
+		if w[i] < 1 {
+			w[i] = 1
+		}
+		sum += w[i]
+	}
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.V(i))
+		for j := i + 1; j < n; j++ {
+			p := w[i] * w[j] / sum
+			if p > 1 {
+				p = 1
+			}
+			if rng.Float64() < p {
+				_ = b.Add(graph.V(i), graph.V(j))
+			}
+		}
+	}
+	return b.Graph(), nil
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// clique on k+1 vertices, each new vertex attaches to k distinct existing
+// vertices chosen with probability proportional to degree.
+func BarabasiAlbert(n, k int, seed uint64) (*graph.Graph, error) {
+	if k < 1 || n < k+1 {
+		return nil, fmt.Errorf("gen: bad BA parameters n=%d k=%d", n, k)
+	}
+	rng := newRNG(seed)
+	b := graph.NewBuilder()
+	// Repeated-endpoint list implements preferential attachment.
+	var ends []graph.V
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			_ = b.Add(graph.V(i), graph.V(j))
+			ends = append(ends, graph.V(i), graph.V(j))
+		}
+	}
+	for v := k + 1; v < n; v++ {
+		chosen := make(map[graph.V]bool, k)
+		for len(chosen) < k {
+			t := ends[rng.IntN(len(ends))]
+			if t != graph.V(v) {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			_ = b.Add(graph.V(v), t)
+			ends = append(ends, graph.V(v), t)
+		}
+	}
+	return b.Graph(), nil
+}
+
+// DisjointTriangles returns t vertex-disjoint triangles: T = t exactly, with
+// every edge in exactly one triangle (the zero-skew extreme).
+func DisjointTriangles(t int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < t; i++ {
+		v := graph.V(3 * i)
+		_ = b.Add(v, v+1)
+		_ = b.Add(v+1, v+2)
+		_ = b.Add(v, v+2)
+	}
+	return b.Graph()
+}
+
+// DisjointFourCycles returns t vertex-disjoint 4-cycles: exactly t 4-cycles.
+func DisjointFourCycles(t int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < t; i++ {
+		v := graph.V(4 * i)
+		_ = b.Add(v, v+1)
+		_ = b.Add(v+1, v+2)
+		_ = b.Add(v+2, v+3)
+		_ = b.Add(v+3, v)
+	}
+	return b.Graph()
+}
+
+// Book returns the "book" graph B_h: a single spine edge {0,1} shared by h
+// triangles (apexes 2..h+1). The spine is the canonical heavy edge: it lies
+// in h triangles while every other edge lies in one.
+func Book(h int) *graph.Graph {
+	b := graph.NewBuilder()
+	_ = b.Add(0, 1)
+	for i := 0; i < h; i++ {
+		a := graph.V(2 + i)
+		_ = b.Add(0, a)
+		_ = b.Add(1, a)
+	}
+	return b.Graph()
+}
+
+// Friendship returns the friendship graph F_k: k triangles all sharing one
+// hub vertex 0 — a heavy-vertex workload with T = k.
+func Friendship(k int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < k; i++ {
+		u := graph.V(1 + 2*i)
+		_ = b.Add(0, u)
+		_ = b.Add(0, u+1)
+		_ = b.Add(u, u+1)
+	}
+	return b.Graph()
+}
+
+// PlantedTriangles overlays t vertex-disjoint triangles on top of a
+// triangle-free bipartite noise graph, producing graphs where m and T are
+// nearly independent knobs. The noise occupies vertices ≥ 3t. The returned
+// graph has exactly t triangles.
+func PlantedTriangles(t int, noiseSide int, noiseP float64, seed uint64) (*graph.Graph, error) {
+	if t < 0 || noiseSide < 0 || noiseP < 0 || noiseP > 1 {
+		return nil, fmt.Errorf("gen: bad planted parameters t=%d side=%d p=%v", t, noiseSide, noiseP)
+	}
+	rng := newRNG(seed)
+	b := graph.NewBuilder()
+	for i := 0; i < t; i++ {
+		v := graph.V(3 * i)
+		_ = b.Add(v, v+1)
+		_ = b.Add(v+1, v+2)
+		_ = b.Add(v, v+2)
+	}
+	base := graph.V(3 * t)
+	for i := 0; i < noiseSide; i++ {
+		for j := 0; j < noiseSide; j++ {
+			if rng.Float64() < noiseP {
+				_ = b.Add(base+graph.V(i), base+graph.V(noiseSide+j))
+			}
+		}
+	}
+	return b.Graph(), nil
+}
+
+// PlantedBooks overlays c disjoint copies of the book B_h (heavy spines) on
+// a bipartite noise graph: T = c·h with maximum edge load h. This is the
+// adversarial heavy-edge workload for the triangle estimators.
+func PlantedBooks(c, h int, noiseSide int, noiseP float64, seed uint64) (*graph.Graph, error) {
+	if c < 0 || h < 0 || noiseSide < 0 || noiseP < 0 || noiseP > 1 {
+		return nil, fmt.Errorf("gen: bad planted-book parameters c=%d h=%d", c, h)
+	}
+	rng := newRNG(seed)
+	b := graph.NewBuilder()
+	stride := graph.V(h + 2)
+	for i := 0; i < c; i++ {
+		base := graph.V(i) * stride
+		_ = b.Add(base, base+1)
+		for j := 0; j < h; j++ {
+			a := base + 2 + graph.V(j)
+			_ = b.Add(base, a)
+			_ = b.Add(base+1, a)
+		}
+	}
+	base := graph.V(c) * stride
+	for i := 0; i < noiseSide; i++ {
+		for j := 0; j < noiseSide; j++ {
+			if rng.Float64() < noiseP {
+				_ = b.Add(base+graph.V(i), base+graph.V(noiseSide+j))
+			}
+		}
+	}
+	return b.Graph(), nil
+}
+
+// PlantedFourCycles overlays t vertex-disjoint 4-cycles on a 4-cycle-free
+// noise graph (a long path), so the graph has exactly t 4-cycles. Noise
+// vertices start at 4t.
+func PlantedFourCycles(t int, noiseLen int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < t; i++ {
+		v := graph.V(4 * i)
+		_ = b.Add(v, v+1)
+		_ = b.Add(v+1, v+2)
+		_ = b.Add(v+2, v+3)
+		_ = b.Add(v+3, v)
+	}
+	base := graph.V(4 * t)
+	for i := 0; i < noiseLen; i++ {
+		_ = b.Add(base+graph.V(i), base+graph.V(i)+1)
+	}
+	return b.Graph()
+}
+
+// BipartiteButterflies returns a random bipartite "user–item" graph sized so
+// butterfly (4-cycle) counting is non-trivial: sides a and b with each user
+// linked to k uniform items.
+func BipartiteButterflies(a, b, k int, seed uint64) (*graph.Graph, error) {
+	if a < 1 || b < k || k < 1 {
+		return nil, fmt.Errorf("gen: bad butterfly parameters a=%d b=%d k=%d", a, b, k)
+	}
+	rng := newRNG(seed)
+	bld := graph.NewBuilder()
+	for i := 0; i < a; i++ {
+		chosen := make(map[int]bool, k)
+		for len(chosen) < k {
+			chosen[rng.IntN(b)] = true
+		}
+		for j := range chosen {
+			_ = bld.Add(graph.V(i), graph.V(a+j))
+		}
+	}
+	return bld.Graph(), nil
+}
+
+// Union returns the disjoint union of g1 and g2, offsetting g2's vertex ids
+// by off. It returns an error if the shifted vertex sets intersect.
+func Union(g1, g2 *graph.Graph, off graph.V) (*graph.Graph, error) {
+	b := graph.NewBuilder()
+	for _, v := range g1.Vertices() {
+		b.AddVertex(v)
+	}
+	for _, e := range g1.Edges() {
+		_ = b.Add(e.U, e.V)
+	}
+	for _, v := range g2.Vertices() {
+		if g1.HasVertex(v + off) {
+			return nil, fmt.Errorf("gen: union overlap at vertex %d", v+off)
+		}
+		b.AddVertex(v + off)
+	}
+	for _, e := range g2.Edges() {
+		if err := b.Add(e.U+off, e.V+off); err != nil {
+			return nil, fmt.Errorf("gen: union: %w", err)
+		}
+	}
+	return b.Graph(), nil
+}

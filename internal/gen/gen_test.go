@@ -1,0 +1,246 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adjstream/internal/graph"
+)
+
+func TestErdosRenyiBounds(t *testing.T) {
+	g, err := ErdosRenyi(50, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 50 {
+		t.Fatalf("N = %d", g.N())
+	}
+	max := int64(50 * 49 / 2)
+	if g.M() <= 0 || g.M() >= max {
+		t.Fatalf("M = %d out of plausible range", g.M())
+	}
+	if _, err := ErdosRenyi(-1, 0.5, 1); err == nil {
+		t.Fatal("expected error for n<0")
+	}
+	if _, err := ErdosRenyi(10, 1.5, 1); err == nil {
+		t.Fatal("expected error for p>1")
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a, _ := ErdosRenyi(30, 0.3, 42)
+	b, _ := ErdosRenyi(30, 0.3, 42)
+	if a.M() != b.M() {
+		t.Fatal("same seed gave different graphs")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed gave different edges")
+		}
+	}
+}
+
+func TestGNMExactEdgeCount(t *testing.T) {
+	g, err := GNM(40, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 100 {
+		t.Fatalf("M = %d, want 100", g.M())
+	}
+	if _, err := GNM(5, 100, 3); err == nil {
+		t.Fatal("expected error for m > C(n,2)")
+	}
+}
+
+func TestCompleteCounts(t *testing.T) {
+	g := Complete(6)
+	if g.M() != 15 || g.Triangles() != 20 {
+		t.Fatalf("K6: M=%d T=%d", g.M(), g.Triangles())
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.M() != 12 || g.Triangles() != 0 {
+		t.Fatalf("K34: M=%d T=%d", g.M(), g.Triangles())
+	}
+	// C4 count of K_{a,b} = C(a,2)·C(b,2).
+	if g.FourCycles() != 3*6 {
+		t.Fatalf("K34 C4 = %d, want 18", g.FourCycles())
+	}
+}
+
+func TestRandomBipartiteIsBipartite(t *testing.T) {
+	g, err := RandomBipartite(20, 25, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Triangles() != 0 {
+		t.Fatal("bipartite graph has triangles")
+	}
+	for _, e := range g.Edges() {
+		if (e.U < 20) == (e.V < 20) {
+			t.Fatalf("edge %v within one side", e)
+		}
+	}
+}
+
+func TestChungLuSkew(t *testing.T) {
+	g, err := ChungLu(300, 2.5, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() == 0 {
+		t.Fatal("empty graph")
+	}
+	// The first vertices should be far hotter than the median vertex.
+	if g.Degree(0) < 4*g.Degree(150) {
+		t.Fatalf("expected skew: deg(0)=%d deg(150)=%d", g.Degree(0), g.Degree(150))
+	}
+	if _, err := ChungLu(10, 1.5, 5, 1); err == nil {
+		t.Fatal("expected error for gamma ≤ 2")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g, err := BarabasiAlbert(200, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 200 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// m = C(4,2) + 3(n-4).
+	want := int64(6 + 3*(200-4))
+	if g.M() != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+	if _, err := BarabasiAlbert(3, 3, 1); err == nil {
+		t.Fatal("expected error for n < k+1")
+	}
+}
+
+func TestDisjointTriangles(t *testing.T) {
+	g := DisjointTriangles(17)
+	if g.Triangles() != 17 {
+		t.Fatalf("T = %d, want 17", g.Triangles())
+	}
+	if g.M() != 51 {
+		t.Fatalf("M = %d, want 51", g.M())
+	}
+	if g.MaxTriangleLoad() != 1 {
+		t.Fatalf("max load = %d, want 1", g.MaxTriangleLoad())
+	}
+}
+
+func TestDisjointFourCycles(t *testing.T) {
+	g := DisjointFourCycles(9)
+	if g.FourCycles() != 9 {
+		t.Fatalf("C4 = %d, want 9", g.FourCycles())
+	}
+	if g.Triangles() != 0 {
+		t.Fatal("unexpected triangles")
+	}
+}
+
+func TestBook(t *testing.T) {
+	g := Book(25)
+	if g.Triangles() != 25 {
+		t.Fatalf("T = %d, want 25", g.Triangles())
+	}
+	loads := g.TriangleLoads()
+	if loads[graph.Edge{U: 0, V: 1}] != 25 {
+		t.Fatalf("spine load = %d, want 25", loads[graph.Edge{U: 0, V: 1}])
+	}
+}
+
+func TestFriendship(t *testing.T) {
+	g := Friendship(12)
+	if g.Triangles() != 12 {
+		t.Fatalf("T = %d, want 12", g.Triangles())
+	}
+	if g.Degree(0) != 24 {
+		t.Fatalf("hub degree = %d, want 24", g.Degree(0))
+	}
+}
+
+func TestPlantedTrianglesExactT(t *testing.T) {
+	g, err := PlantedTriangles(40, 30, 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Triangles() != 40 {
+		t.Fatalf("T = %d, want 40", g.Triangles())
+	}
+	if g.M() <= 120 {
+		t.Fatal("noise edges missing")
+	}
+}
+
+func TestPlantedBooks(t *testing.T) {
+	g, err := PlantedBooks(5, 20, 20, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Triangles() != 100 {
+		t.Fatalf("T = %d, want 100", g.Triangles())
+	}
+	if g.MaxTriangleLoad() != 20 {
+		t.Fatalf("max load = %d, want 20", g.MaxTriangleLoad())
+	}
+}
+
+func TestPlantedFourCycles(t *testing.T) {
+	g := PlantedFourCycles(13, 50)
+	if g.FourCycles() != 13 {
+		t.Fatalf("C4 = %d, want 13", g.FourCycles())
+	}
+}
+
+func TestBipartiteButterflies(t *testing.T) {
+	g, err := BipartiteButterflies(30, 20, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 120 {
+		t.Fatalf("M = %d, want 120", g.M())
+	}
+	if g.Triangles() != 0 {
+		t.Fatal("bipartite graph has triangles")
+	}
+	if _, err := BipartiteButterflies(5, 3, 4, 1); err == nil {
+		t.Fatal("expected error for b < k")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	g1 := DisjointTriangles(2) // vertices 0..5
+	g2 := DisjointFourCycles(1)
+	u, err := Union(g1, g2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Triangles() != 2 || u.FourCycles() != 1 {
+		t.Fatalf("union T=%d C4=%d", u.Triangles(), u.FourCycles())
+	}
+	if _, err := Union(g1, g2, 0); err == nil {
+		t.Fatal("expected overlap error")
+	}
+}
+
+// Property: planted triangle count is exact for any small t and noise seed.
+func TestPlantedExactQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		tt := int(seed%20) + 1
+		g, err := PlantedTriangles(tt, 10, 0.3, seed)
+		if err != nil {
+			return false
+		}
+		return g.Triangles() == int64(tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

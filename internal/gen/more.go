@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"adjstream/internal/graph"
+)
+
+// Torus returns the a×b torus grid (wraparound in both dimensions), for
+// a, b ≥ 3. It is triangle-free with exactly a·b faces, each a 4-cycle;
+// for a, b ≥ 5 these faces are the only 4-cycles, making the torus a clean
+// deterministic 4-cycle workload (for a or b in {3,4} additional wraparound
+// 4-cycles appear, so Torus requires ≥ 5).
+func Torus(a, b int) (*graph.Graph, error) {
+	if a < 5 || b < 5 {
+		return nil, fmt.Errorf("gen: torus sides %dx%d must be ≥ 5", a, b)
+	}
+	bld := graph.NewBuilder()
+	id := func(i, j int) graph.V { return graph.V(i*b + j) }
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			if err := bld.Add(id(i, j), id((i+1)%a, j)); err != nil {
+				return nil, err
+			}
+			if err := bld.Add(id(i, j), id(i, (j+1)%b)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return bld.Graph(), nil
+}
+
+// RandomRegular returns a d-regular simple graph on n vertices via the
+// configuration (pairing) model with restarts; n·d must be even and d < n.
+func RandomRegular(n, d int, seed uint64) (*graph.Graph, error) {
+	if d < 1 || d >= n || n*d%2 != 0 {
+		return nil, fmt.Errorf("gen: bad regular parameters n=%d d=%d", n, d)
+	}
+	rng := newRNG(seed)
+	const maxAttempts = 500
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		stubs := make([]graph.V, 0, n*d)
+		for v := 0; v < n; v++ {
+			for k := 0; k < d; k++ {
+				stubs = append(stubs, graph.V(v))
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		b := graph.NewBuilder()
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			if !b.AddIfAbsent(stubs[i], stubs[i+1]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return b.Graph(), nil
+		}
+	}
+	return nil, fmt.Errorf("gen: configuration model failed after %d attempts (n=%d d=%d)", maxAttempts, n, d)
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where each
+// vertex connects to its k nearest neighbors on each side, with every edge
+// rewired independently with probability beta (avoiding self-loops and
+// duplicates). High clustering with short paths — a classic workload for
+// transitivity estimation.
+func WattsStrogatz(n, k int, beta float64, seed uint64) (*graph.Graph, error) {
+	if k < 1 || 2*k >= n || beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: bad Watts–Strogatz parameters n=%d k=%d beta=%v", n, k, beta)
+	}
+	rng := newRNG(seed)
+	b := graph.NewBuilder()
+	for v := 0; v < n; v++ {
+		b.AddVertex(graph.V(v))
+	}
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			u := (v + j) % n
+			if rng.Float64() < beta {
+				// Rewire: pick a fresh endpoint; skip on failure to keep
+				// the generator total.
+				placed := false
+				for tries := 0; tries < 32; tries++ {
+					w := rng.IntN(n)
+					if w != v && b.AddIfAbsent(graph.V(v), graph.V(w)) {
+						placed = true
+						break
+					}
+				}
+				if placed {
+					continue
+				}
+			}
+			b.AddIfAbsent(graph.V(v), graph.V(u))
+		}
+	}
+	return b.Graph(), nil
+}
+
+// Shuffled returns a copy of g with vertex ids permuted uniformly — useful
+// for checking label-invariance of estimators.
+func Shuffled(g *graph.Graph, seed uint64) *graph.Graph {
+	rng := rand.New(rand.NewPCG(seed, seed^0x93c4_67e3_7db0_c7a4))
+	vs := g.Vertices()
+	perm := make([]graph.V, len(vs))
+	copy(perm, vs)
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	relabel := make(map[graph.V]graph.V, len(vs))
+	for i, v := range vs {
+		relabel[v] = perm[i]
+	}
+	b := graph.NewBuilder()
+	for _, v := range vs {
+		b.AddVertex(relabel[v])
+	}
+	for _, e := range g.Edges() {
+		_ = b.Add(relabel[e.U], relabel[e.V])
+	}
+	return b.Graph()
+}

@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTorusProperties(t *testing.T) {
+	g, err := Torus(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 35 || g.M() != 70 {
+		t.Fatalf("n=%d m=%d, want 35/70", g.N(), g.M())
+	}
+	for _, v := range g.Vertices() {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if g.Triangles() != 0 {
+		t.Fatal("torus should be triangle-free")
+	}
+	// Exactly one 4-cycle per face.
+	if got := g.FourCycles(); got != 35 {
+		t.Fatalf("C4 = %d, want 35", got)
+	}
+	if _, err := Torus(4, 7); err == nil {
+		t.Fatal("expected error for side < 5")
+	}
+}
+
+func TestTorusFourCyclesQuick(t *testing.T) {
+	f := func(a, b uint8) bool {
+		aa, bb := int(a%6)+5, int(b%6)+5
+		g, err := Torus(aa, bb)
+		if err != nil {
+			return false
+		}
+		return g.FourCycles() == int64(aa*bb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g, err := RandomRegular(50, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 50 || g.M() != 100 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	for _, v := range g.Vertices() {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+	if _, err := RandomRegular(5, 3, 1); err == nil {
+		t.Fatal("odd n·d should fail")
+	}
+	if _, err := RandomRegular(4, 4, 1); err == nil {
+		t.Fatal("d ≥ n should fail")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	// beta=0: pure ring lattice with known clustering.
+	g, err := WattsStrogatz(60, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 180 {
+		t.Fatalf("m = %d, want 180", g.M())
+	}
+	lattice := g.AverageLocalClustering()
+	if lattice < 0.5 {
+		t.Fatalf("lattice clustering = %v, want high", lattice)
+	}
+	// beta=0.5: clustering drops.
+	g2, err := WattsStrogatz(60, 3, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.AverageLocalClustering() >= lattice {
+		t.Fatalf("rewiring did not reduce clustering: %v vs %v",
+			g2.AverageLocalClustering(), lattice)
+	}
+	if _, err := WattsStrogatz(10, 5, 0, 1); err == nil {
+		t.Fatal("2k ≥ n should fail")
+	}
+	if _, err := WattsStrogatz(10, 2, 1.5, 1); err == nil {
+		t.Fatal("beta > 1 should fail")
+	}
+}
+
+func TestShuffledPreservesCounts(t *testing.T) {
+	g, err := ErdosRenyi(30, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Shuffled(g, 9)
+	if s.N() != g.N() || s.M() != g.M() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", s.N(), s.M(), g.N(), g.M())
+	}
+	if s.Triangles() != g.Triangles() || s.FourCycles() != g.FourCycles() {
+		t.Fatal("relabeling changed subgraph counts")
+	}
+}

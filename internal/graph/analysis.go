@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LocalTriangles returns, for every vertex contained in at least one
+// triangle, the number of triangles through it — the per-vertex counts
+// behind local clustering coefficients (the quantity the paper's intro
+// cites from spam-detection work).
+func (g *Graph) LocalTriangles() map[V]int64 {
+	out := make(map[V]int64)
+	g.ForEachTriangle(func(t Triangle) {
+		out[t.A]++
+		out[t.B]++
+		out[t.C]++
+	})
+	return out
+}
+
+// LocalClustering returns the local clustering coefficient of v: triangles
+// through v divided by C(deg v, 2), or 0 for degree < 2.
+func (g *Graph) LocalClustering(v V) float64 {
+	d := int64(g.Degree(v))
+	if d < 2 {
+		return 0
+	}
+	var t int64
+	ns := g.nbr[v]
+	for i := 0; i < len(ns); i++ {
+		for j := i + 1; j < len(ns); j++ {
+			if g.HasEdge(ns[i], ns[j]) {
+				t++
+			}
+		}
+	}
+	return float64(t) / float64(d*(d-1)/2)
+}
+
+// AverageLocalClustering returns the mean local clustering coefficient over
+// all vertices (Watts–Strogatz average clustering), or 0 for an empty graph.
+func (g *Graph) AverageLocalClustering() float64 {
+	if len(g.vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range g.vs {
+		s += g.LocalClustering(v)
+	}
+	return s / float64(len(g.vs))
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted, ordered by their minimum vertex.
+func (g *Graph) ConnectedComponents() [][]V {
+	seen := make(map[V]bool, len(g.vs))
+	var comps [][]V
+	for _, s := range g.vs {
+		if seen[s] {
+			continue
+		}
+		var comp []V
+		queue := []V{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, u := range g.nbr[v] {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Induced returns the subgraph induced on the given vertices. Unknown
+// vertices are an error; duplicate entries are ignored.
+func (g *Graph) Induced(vs []V) (*Graph, error) {
+	keep := make(map[V]bool, len(vs))
+	for _, v := range vs {
+		if !g.HasVertex(v) {
+			return nil, fmt.Errorf("graph: induce: vertex %d not in graph", v)
+		}
+		keep[v] = true
+	}
+	b := NewBuilder()
+	for v := range keep {
+		b.AddVertex(v)
+		for _, u := range g.nbr[v] {
+			if keep[u] && v < u {
+				if err := b.Add(v, u); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Graph(), nil
+}
+
+// Degeneracy returns the graph's degeneracy d (the smallest k such that
+// every subgraph has a vertex of degree ≤ k) and a degeneracy ordering
+// (each vertex has ≤ d neighbors later in the order). Computed with the
+// standard bucket peeling algorithm in O(m + n).
+func (g *Graph) Degeneracy() (int, []V) {
+	n := len(g.vs)
+	if n == 0 {
+		return 0, nil
+	}
+	deg := make(map[V]int, n)
+	maxd := 0
+	for _, v := range g.vs {
+		deg[v] = len(g.nbr[v])
+		if deg[v] > maxd {
+			maxd = deg[v]
+		}
+	}
+	buckets := make([][]V, maxd+1)
+	for _, v := range g.vs {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	removed := make(map[V]bool, n)
+	order := make([]V, 0, n)
+	degeneracy := 0
+	cur := 0
+	for len(order) < n {
+		// Find the lowest non-empty bucket (entries may be stale).
+		if cur > 0 {
+			cur--
+		}
+		var v V
+		found := false
+		for !found {
+			for cur <= maxd && len(buckets[cur]) == 0 {
+				cur++
+			}
+			if cur > maxd {
+				break
+			}
+			last := len(buckets[cur]) - 1
+			v = buckets[cur][last]
+			buckets[cur] = buckets[cur][:last]
+			if !removed[v] && deg[v] == cur {
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		removed[v] = true
+		order = append(order, v)
+		for _, u := range g.nbr[v] {
+			if removed[u] {
+				continue
+			}
+			deg[u]--
+			buckets[deg[u]] = append(buckets[deg[u]], u)
+		}
+	}
+	return degeneracy, order
+}
+
+// LocalFourCycles returns, for every vertex on at least one 4-cycle, the
+// number of 4-cycles through it ("local butterfly counts" in the bipartite
+// motif literature).
+func (g *Graph) LocalFourCycles() map[V]int64 {
+	out := make(map[V]int64)
+	g.ForEachFourCycle(func(c FourCycle) {
+		out[c.P]++
+		out[c.Q]++
+		out[c.R]++
+		out[c.S]++
+	})
+	return out
+}
+
+// DegreeHistogram returns counts[d] = number of vertices of degree d.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, v := range g.vs {
+		h[len(g.nbr[v])]++
+	}
+	return h
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalTrianglesSumTo3T(t *testing.T) {
+	g := randomGraph(25, 0.3, 5)
+	var sum int64
+	for _, c := range g.LocalTriangles() {
+		sum += c
+	}
+	if sum != 3*g.Triangles() {
+		t.Fatalf("Σ local = %d, want %d", sum, 3*g.Triangles())
+	}
+}
+
+func TestLocalTrianglesKnown(t *testing.T) {
+	// Friendship-style: hub 0 in both triangles, spokes in one each.
+	g := MustFromEdges([]Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2},
+		{U: 0, V: 3}, {U: 0, V: 4}, {U: 3, V: 4},
+	})
+	lt := g.LocalTriangles()
+	if lt[0] != 2 {
+		t.Errorf("hub = %d, want 2", lt[0])
+	}
+	for _, v := range []V{1, 2, 3, 4} {
+		if lt[v] != 1 {
+			t.Errorf("spoke %d = %d, want 1", v, lt[v])
+		}
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	g := complete(5)
+	for _, v := range g.Vertices() {
+		if c := g.LocalClustering(v); c != 1 {
+			t.Fatalf("K5 local clustering(%d) = %v", v, c)
+		}
+	}
+	if g.AverageLocalClustering() != 1 {
+		t.Fatal("K5 average clustering should be 1")
+	}
+	p := path(5)
+	if c := p.LocalClustering(2); c != 0 {
+		t.Fatalf("path clustering = %v", c)
+	}
+	if p.LocalClustering(0) != 0 {
+		t.Fatal("degree-1 vertex clustering should be 0")
+	}
+	if NewBuilder().Graph().AverageLocalClustering() != 0 {
+		t.Fatal("empty average clustering should be 0")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder()
+	_ = b.Add(1, 2)
+	_ = b.Add(2, 3)
+	_ = b.Add(10, 11)
+	b.AddVertex(99)
+	g := b.Graph()
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 1 {
+		t.Fatalf("first component = %v", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 10 {
+		t.Fatalf("second component = %v", comps[1])
+	}
+	if len(comps[2]) != 1 || comps[2][0] != 99 {
+		t.Fatalf("isolated component = %v", comps[2])
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := complete(6)
+	sub, err := g.Induced([]V{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 4 || sub.M() != 6 || sub.Triangles() != 4 {
+		t.Fatalf("induced K4: n=%d m=%d T=%d", sub.N(), sub.M(), sub.Triangles())
+	}
+	if _, err := g.Induced([]V{0, 99}); err == nil {
+		t.Fatal("expected error for unknown vertex")
+	}
+}
+
+func TestDegeneracyKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"K5", complete(5), 4},
+		{"path", path(10), 1},
+		{"C6", cycle(6), 2},
+		{"K33", completeBipartite(3, 3), 3},
+		{"empty", NewBuilder().Graph(), 0},
+	}
+	for _, c := range cases {
+		got, order := c.g.Degeneracy()
+		if got != c.want {
+			t.Errorf("%s: degeneracy = %d, want %d", c.name, got, c.want)
+		}
+		if len(order) != c.g.N() {
+			t.Errorf("%s: order has %d vertices, want %d", c.name, len(order), c.g.N())
+		}
+	}
+}
+
+// Property: a degeneracy ordering has ≤ d later-neighbors per vertex.
+func TestDegeneracyOrderingValidQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(20, 0.3, seed%128+1)
+		d, order := g.Degeneracy()
+		pos := make(map[V]int, len(order))
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, v := range order {
+			later := 0
+			for _, u := range g.Neighbors(v) {
+				if pos[u] > pos[v] {
+					later++
+				}
+			}
+			if later > d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := MustFromEdges([]Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	h := g.DegreeHistogram()
+	if h[3] != 1 || h[1] != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+}

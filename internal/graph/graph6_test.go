@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGraph6KnownStrings(t *testing.T) {
+	// Standard references: K4 is "C~", the path P4 is "Cr" per nauty docs
+	// ("Cr" = n=4, bits for edges 01,12,23... verify by decode instead),
+	// the empty graph on 5 vertices is "D??".
+	k4, err := complete(4).Graph6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 != "C~" {
+		t.Fatalf("K4 graph6 = %q, want \"C~\"", k4)
+	}
+	b := NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AddVertex(V(i))
+	}
+	empty5, err := b.Graph().Graph6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty5 != "D??" {
+		t.Fatalf("empty5 graph6 = %q, want \"D??\"", empty5)
+	}
+}
+
+func TestGraph6RoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		g := randomGraph(20, 0.3, seed)
+		s, err := g.Graph6()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := FromGraph6(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("seed %d: shape %d/%d vs %d/%d", seed, g2.N(), g2.M(), g.N(), g.M())
+		}
+		if g2.Triangles() != g.Triangles() || g2.FourCycles() != g.FourCycles() {
+			t.Fatalf("seed %d: counts changed", seed)
+		}
+	}
+}
+
+func TestGraph6RoundTripRelabels(t *testing.T) {
+	// Non-contiguous vertex ids survive as an isomorphic graph.
+	g := MustFromEdges([]Edge{{U: 100, V: 200}, {U: 200, V: 300}, {U: 100, V: 300}})
+	s, err := g.Graph6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromGraph6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 3 || g2.Triangles() != 1 {
+		t.Fatalf("decoded n=%d T=%d", g2.N(), g2.Triangles())
+	}
+}
+
+func TestGraph6LargeN(t *testing.T) {
+	g := path(100) // n = 100 > 62: long-form header
+	s, err := g.Graph6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 126 {
+		t.Fatalf("expected long-form header, got %q", s[:4])
+	}
+	g2, err := FromGraph6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 100 || g2.M() != 99 {
+		t.Fatalf("decoded %d/%d", g2.N(), g2.M())
+	}
+}
+
+func TestFromGraph6Header(t *testing.T) {
+	g, err := FromGraph6(">>graph6<<C~\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 6 {
+		t.Fatalf("decoded %d/%d", g.N(), g.M())
+	}
+}
+
+func TestFromGraph6Rejects(t *testing.T) {
+	cases := []string{
+		"",
+		"C",      // truncated body
+		"C~~",    // oversized body
+		"C\x01",  // byte out of range
+		"~~????", // giant-n form
+	}
+	for _, c := range cases {
+		if _, err := FromGraph6(c); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+	// Padding bit set: n=3 needs 3 bits; byte with a low bit set is invalid.
+	if _, err := FromGraph6("B" + string(rune(63+1))); err == nil {
+		t.Error("expected padding error")
+	}
+}
+
+func TestGraph6RoundTripQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(12, 0.5, seed%512+1)
+		s, err := g.Graph6()
+		if err != nil {
+			return false
+		}
+		g2, err := FromGraph6(s)
+		if err != nil {
+			return false
+		}
+		return g2.M() == g.M() && g2.Triangles() == g.Triangles()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// bruteMotifs counts the six connected 4-vertex subgraphs by enumerating
+// all vertex 4-subsets and, within each, all labelled embeddings.
+func bruteMotifs(g *Graph) MotifCounts {
+	var mc MotifCounts
+	vs := g.Vertices()
+	n := len(vs)
+	adj := func(a, b V) int {
+		if g.HasEdge(a, b) {
+			return 1
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				for l := k + 1; l < n; l++ {
+					q := [4]V{vs[i], vs[j], vs[k], vs[l]}
+					// Count subgraph embeddings within the 4-set.
+					// Paths on 4 vertices: orderings a-b-c-d up to reversal.
+					perms := [][4]int{
+						{0, 1, 2, 3}, {0, 1, 3, 2}, {0, 2, 1, 3},
+						{0, 2, 3, 1}, {0, 3, 1, 2}, {0, 3, 2, 1},
+						{1, 0, 2, 3}, {1, 0, 3, 2}, {1, 2, 0, 3},
+						{1, 3, 0, 2}, {2, 0, 1, 3}, {2, 1, 0, 3},
+					}
+					for _, p := range perms {
+						a, b, c, d := q[p[0]], q[p[1]], q[p[2]], q[p[3]]
+						if adj(a, b) == 1 && adj(b, c) == 1 && adj(c, d) == 1 {
+							mc.Path4++
+						}
+					}
+					// Claws: each center choice.
+					for c0 := 0; c0 < 4; c0++ {
+						deg := 0
+						for x := 0; x < 4; x++ {
+							if x != c0 {
+								deg += adj(q[c0], q[x])
+							}
+						}
+						if deg == 3 {
+							mc.Claw++
+						}
+					}
+					// 4-cycles: three pairings.
+					cyc := func(a, b, c, d V) bool {
+						return adj(a, b) == 1 && adj(b, c) == 1 && adj(c, d) == 1 && adj(d, a) == 1
+					}
+					if cyc(q[0], q[1], q[2], q[3]) {
+						mc.Cycle4++
+					}
+					if cyc(q[0], q[1], q[3], q[2]) {
+						mc.Cycle4++
+					}
+					if cyc(q[0], q[2], q[1], q[3]) {
+						mc.Cycle4++
+					}
+					// Paws: choose the triangle (3 of the 4) and the pendant
+					// attachment.
+					for skip := 0; skip < 4; skip++ {
+						var tri [3]int
+						ti := 0
+						for x := 0; x < 4; x++ {
+							if x != skip {
+								tri[ti] = x
+								ti++
+							}
+						}
+						if adj(q[tri[0]], q[tri[1]])+adj(q[tri[1]], q[tri[2]])+adj(q[tri[0]], q[tri[2]]) != 3 {
+							continue
+						}
+						for _, at := range tri {
+							if adj(q[skip], q[at]) == 1 {
+								mc.Paw++
+							}
+						}
+					}
+					// Diamonds: choose the missing-edge pair.
+					edges := 0
+					pairs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+					for _, pr := range pairs {
+						edges += adj(q[pr[0]], q[pr[1]])
+					}
+					for _, miss := range pairs {
+						ok := true
+						for _, pr := range pairs {
+							if pr == miss {
+								continue
+							}
+							if adj(q[pr[0]], q[pr[1]]) == 0 {
+								ok = false
+								break
+							}
+						}
+						if ok {
+							mc.Diamond++
+						}
+					}
+					if edges == 6 {
+						mc.K4++
+					}
+				}
+			}
+		}
+	}
+	// The 12 permutations above cover each unordered 4-path exactly once
+	// (they are the 4!/2 reversal-classes), so no correction is needed.
+	return mc
+}
+
+func TestMotifsKnown(t *testing.T) {
+	// K4: 4 claws? no — every 4-set is the whole graph here.
+	k4 := complete(4)
+	mc := k4.Motifs()
+	want := MotifCounts{Path4: 12, Claw: 4, Cycle4: 3, Paw: 12, Diamond: 6, K4: 1}
+	if mc != want {
+		t.Fatalf("K4 motifs = %+v, want %+v", mc, want)
+	}
+
+	// Star K_{1,3}: one claw, nothing else.
+	star := MustFromEdges([]Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	mc = star.Motifs()
+	want = MotifCounts{Claw: 1}
+	if mc != want {
+		t.Fatalf("star motifs = %+v, want %+v", mc, want)
+	}
+
+	// Path on 4 vertices.
+	p4 := path(4)
+	mc = p4.Motifs()
+	want = MotifCounts{Path4: 1}
+	if mc != want {
+		t.Fatalf("P4 motifs = %+v, want %+v", mc, want)
+	}
+
+	// C4.
+	c4 := cycle(4)
+	mc = c4.Motifs()
+	want = MotifCounts{Path4: 4, Cycle4: 1}
+	if mc != want {
+		t.Fatalf("C4 motifs = %+v, want %+v", mc, want)
+	}
+
+	// Paw: triangle 0-1-2 plus pendant 3 at 0.
+	// The paw also contains one claw (center 0, leaves 1,2,3).
+	paw := MustFromEdges([]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 3}})
+	mc = paw.Motifs()
+	want = MotifCounts{Path4: 2, Claw: 1, Paw: 1}
+	if mc != want {
+		t.Fatalf("paw motifs = %+v, want %+v", mc, want)
+	}
+}
+
+func TestMotifsMatchBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		g := randomGraph(12, 0.4, seed)
+		got, want := g.Motifs(), bruteMotifs(g)
+		if got != want {
+			t.Fatalf("seed %d: Motifs = %+v, brute = %+v", seed, got, want)
+		}
+	}
+}
+
+func TestMotifsMatchBruteForceQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(10, 0.45, seed%256+1)
+		return g.Motifs() == bruteMotifs(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

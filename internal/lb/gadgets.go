@@ -1,0 +1,467 @@
+// Package lb constructs the five lower-bound gadget graphs of Figure 1 of
+// the paper: encodings of communication-game instances (internal/comm) as
+// adjacency-list streams partitioned among the players. Each gadget has the
+// promised dichotomy — the graph is ℓ-cycle-free when the game's answer is
+// 0 and has the stated number of ℓ-cycles when it is 1 — which the tests
+// verify with the exact counters, and each player's segment contains
+// exactly the adjacency lists of that player's assigned vertices, every one
+// of which is determined by information that player holds.
+package lb
+
+import (
+	"fmt"
+
+	"adjstream/internal/comm"
+	"adjstream/internal/graph"
+	"adjstream/internal/plane"
+	"adjstream/internal/stream"
+)
+
+// Gadget is one constructed reduction instance.
+type Gadget struct {
+	// G is the encoded graph.
+	G *graph.Graph
+	// Segments holds each player's adjacency lists in speaking order
+	// (Alice, Bob[, Charlie]); their concatenation is a valid stream.
+	Segments [][]stream.Item
+	// CycleLen is the cycle length the reduction concerns.
+	CycleLen int
+	// Want is the number of CycleLen-cycles the graph must contain when the
+	// game's answer is 1 (it must contain none when the answer is 0).
+	Want int64
+	// Answer is the game instance's answer.
+	Answer bool
+}
+
+// VerifyDichotomy checks the 0-versus-Want promise against the exact
+// counter; it is the empirical content of Theorems 5.1–5.5.
+func (g *Gadget) VerifyDichotomy() error {
+	n, err := g.G.CountCycles(g.CycleLen)
+	if err != nil {
+		return err
+	}
+	want := int64(0)
+	if g.Answer {
+		want = g.Want
+	}
+	if n != want {
+		return fmt.Errorf("lb: gadget has %d %d-cycles, want %d (answer=%v)", n, g.CycleLen, want, g.Answer)
+	}
+	return nil
+}
+
+// Stream returns the concatenation of the player segments as a validated
+// stream.
+func (g *Gadget) Stream() (*stream.Stream, error) {
+	var all []stream.Item
+	for _, seg := range g.Segments {
+		all = append(all, seg...)
+	}
+	return stream.FromItems(all)
+}
+
+// segmentsFor emits, for each player, the adjacency lists of that player's
+// vertices (in the given order, neighbors sorted), skipping isolated
+// vertices. Every vertex of g with positive degree must be assigned to
+// exactly one player.
+func segmentsFor(g *graph.Graph, players [][]graph.V) ([][]stream.Item, error) {
+	assigned := make(map[graph.V]bool)
+	out := make([][]stream.Item, len(players))
+	for pi, vs := range players {
+		for _, v := range vs {
+			if assigned[v] {
+				return nil, fmt.Errorf("lb: vertex %d assigned twice", v)
+			}
+			assigned[v] = true
+			for _, u := range g.Neighbors(v) {
+				out[pi] = append(out[pi], stream.Item{Owner: v, Nbr: u})
+			}
+		}
+	}
+	for _, v := range g.Vertices() {
+		if g.Degree(v) > 0 && !assigned[v] {
+			return nil, fmt.Errorf("lb: vertex %d unassigned", v)
+		}
+	}
+	return out, nil
+}
+
+func vrange(base graph.V, n int) []graph.V {
+	out := make([]graph.V, n)
+	for i := range out {
+		out[i] = base + graph.V(i)
+	}
+	return out
+}
+
+// TrianglePJGadget encodes a 3-PJ_r instance as the Figure 1a triangle
+// gadget with block size k: Alice holds the vertices a_1..a_r, Bob a set B
+// of k vertices, Charlie blocks C_1..C_r of k vertices each. The graph has
+// k² triangles iff v* reaches v41 (Theorem 5.1).
+func TrianglePJGadget(inst comm.PJ3Instance, k int) (*Gadget, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("lb: block size k=%d < 1", k)
+	}
+	r := len(inst.P1)
+	aBase := graph.V(0)
+	bBase := graph.V(r)
+	cBase := func(i int) graph.V { return graph.V(r + k + i*k) }
+
+	b := graph.NewBuilder()
+	// E1 (known to Bob and Charlie): B × C_{P0}, k² edges.
+	for s := 0; s < k; s++ {
+		for t := 0; t < k; t++ {
+			if err := b.Add(bBase+graph.V(s), cBase(inst.P0)+graph.V(t)); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+		}
+	}
+	// E2 (Alice and Charlie): C_i × {a_{P1[i]}}.
+	for i := 0; i < r; i++ {
+		for t := 0; t < k; t++ {
+			if err := b.Add(cBase(i)+graph.V(t), aBase+graph.V(inst.P1[i])); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+		}
+	}
+	// E3 (Alice and Bob): a_i × B for each i with P2[i] = 1.
+	for i := 0; i < r; i++ {
+		if !inst.P2[i] {
+			continue
+		}
+		for s := 0; s < k; s++ {
+			if err := b.Add(aBase+graph.V(i), bBase+graph.V(s)); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+		}
+	}
+	g := b.Graph()
+	charlie := make([]graph.V, 0, r*k)
+	for i := 0; i < r; i++ {
+		charlie = append(charlie, vrange(cBase(i), k)...)
+	}
+	segs, err := segmentsFor(g, [][]graph.V{vrange(aBase, r), vrange(bBase, k), charlie})
+	if err != nil {
+		return nil, err
+	}
+	return &Gadget{
+		G:        g,
+		Segments: segs,
+		CycleLen: 3,
+		Want:     int64(k) * int64(k),
+		Answer:   inst.Answer(),
+	}, nil
+}
+
+// TriangleDisj3Gadget encodes a 3-DISJ_r instance as the Figure 1b triangle
+// gadget with block size k: blocks A_i (Alice), B_i (Bob), C_i (Charlie) of
+// k vertices each; index i contributes A_i×C_i iff S1[i], A_i×B_i iff
+// S2[i], B_i×C_i iff S3[i]. The graph has k³ triangles per index in the
+// triple intersection (Theorem 5.2); for the unique-intersection instances
+// produced by comm.RandomDisj3 that is exactly k³.
+func TriangleDisj3Gadget(inst comm.Disj3Instance, k int) (*Gadget, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("lb: block size k=%d < 1", k)
+	}
+	r := len(inst.S1)
+	aBase := func(i int) graph.V { return graph.V(i * k) }
+	bBase := func(i int) graph.V { return graph.V((r + i) * k) }
+	cBase := func(i int) graph.V { return graph.V((2*r + i) * k) }
+
+	b := graph.NewBuilder()
+	addBlock := func(x, y graph.V) error {
+		for s := 0; s < k; s++ {
+			for t := 0; t < k; t++ {
+				if err := b.Add(x+graph.V(s), y+graph.V(t)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	var inter int64
+	for i := 0; i < r; i++ {
+		if inst.S1[i] {
+			if err := addBlock(aBase(i), cBase(i)); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+		}
+		if inst.S2[i] {
+			if err := addBlock(aBase(i), bBase(i)); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+		}
+		if inst.S3[i] {
+			if err := addBlock(bBase(i), cBase(i)); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+		}
+		if inst.S1[i] && inst.S2[i] && inst.S3[i] {
+			inter++
+		}
+	}
+	g := b.Graph()
+	var alice, bob, charlie []graph.V
+	for i := 0; i < r; i++ {
+		alice = append(alice, vrange(aBase(i), k)...)
+		bob = append(bob, vrange(bBase(i), k)...)
+		charlie = append(charlie, vrange(cBase(i), k)...)
+	}
+	kk := int64(k)
+	want := kk * kk * kk
+	if inter > 1 {
+		want *= inter
+	}
+	segs, err := segmentsFor(g, [][]graph.V{alice, bob, charlie})
+	if err != nil {
+		return nil, err
+	}
+	return &Gadget{G: g, Segments: segs, CycleLen: 3, Want: want, Answer: inst.Answer()}, nil
+}
+
+// IndexGadgetStringLen returns the INDEX string length used by
+// FourCycleIndexGadget for plane order q: the number of edges of the
+// 4-cycle-free bipartite incidence graph H, i.e. (q²+q+1)(q+1).
+func IndexGadgetStringLen(q int64) (int, error) {
+	p, err := plane.New(q)
+	if err != nil {
+		return 0, err
+	}
+	return p.Size() * int(q+1), nil
+}
+
+// FourCycleIndexGadget encodes an INDEX instance as the Figure 1c 4-cycle
+// gadget (Theorem 5.3): Alice holds vertex sets A, B of size r = q²+q+1 and
+// the subgraph of the projective-plane incidence graph H selected by her
+// string; Bob holds blocks C_i, D_j of size k, a k-matching between C_{i*}
+// and D_{j*} for the H-edge (i*,j*) named by his index, and the fixed edges
+// a_i–C_i, b_j–D_j. The graph has k 4-cycles iff S[x] = 1.
+func FourCycleIndexGadget(inst comm.IndexInstance, q int64, k int) (*Gadget, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("lb: block size k=%d < 1", k)
+	}
+	pl, err := plane.New(q)
+	if err != nil {
+		return nil, err
+	}
+	incidences := pl.IncidenceEdges()
+	if len(inst.S) != len(incidences) {
+		return nil, fmt.Errorf("lb: string length %d, want %d for plane order %d", len(inst.S), len(incidences), q)
+	}
+	r := pl.Size()
+	aBase := graph.V(0)
+	bBase := graph.V(r)
+	cBase := func(i int) graph.V { return graph.V(2*r + i*k) }
+	dBase := func(j int) graph.V { return graph.V(2*r + r*k + j*k) }
+
+	b := graph.NewBuilder()
+	// Alice's H-subgraph between A and B.
+	for t, e := range incidences {
+		if inst.S[t] {
+			if err := b.Add(aBase+graph.V(e[0]), bBase+graph.V(e[1])); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+		}
+	}
+	// Bob's matching between C_{i*} and D_{j*}.
+	star := incidences[inst.X]
+	for t := 0; t < k; t++ {
+		if err := b.Add(cBase(star[0])+graph.V(t), dBase(star[1])+graph.V(t)); err != nil {
+			return nil, fmt.Errorf("lb: %w", err)
+		}
+	}
+	// Fixed edges a_i–C_i and b_j–D_j.
+	for i := 0; i < r; i++ {
+		for t := 0; t < k; t++ {
+			if err := b.Add(aBase+graph.V(i), cBase(i)+graph.V(t)); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+			if err := b.Add(bBase+graph.V(i), dBase(i)+graph.V(t)); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+		}
+	}
+	g := b.Graph()
+	var bob []graph.V
+	for i := 0; i < r; i++ {
+		bob = append(bob, vrange(cBase(i), k)...)
+	}
+	for j := 0; j < r; j++ {
+		bob = append(bob, vrange(dBase(j), k)...)
+	}
+	segs, err := segmentsFor(g, [][]graph.V{vrange(aBase, 2*r), bob})
+	if err != nil {
+		return nil, err
+	}
+	return &Gadget{G: g, Segments: segs, CycleLen: 4, Want: int64(k), Answer: inst.Answer()}, nil
+}
+
+// DisjGadgetStringLen returns the DISJ string length used by
+// FourCycleDisjGadget for outer plane order q1.
+func DisjGadgetStringLen(q1 int64) (int, error) {
+	return IndexGadgetStringLen(q1)
+}
+
+// FourCycleDisjGadget encodes a DISJ instance as the Figure 1d 4-cycle
+// gadget (Theorem 5.4). H1 (outer, order q1, sides r) indexes the strings;
+// H2 (inner, order q2, sides kSide = q2²+q2+1) is copied between A_i/C_i
+// and B_j/D_j; Alice's bits select k-matchings A_i–B_j along H1 edges and
+// Bob's bits select matchings C_i–D_j. Each common index contributes
+// exactly |E(H2)| = kSide·(q2+1) 4-cycles.
+func FourCycleDisjGadget(inst comm.DisjInstance, q1, q2 int64) (*Gadget, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	p1, err := plane.New(q1)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := plane.New(q2)
+	if err != nil {
+		return nil, err
+	}
+	h1 := p1.IncidenceEdges()
+	if len(inst.S1) != len(h1) {
+		return nil, fmt.Errorf("lb: string length %d, want %d for outer plane order %d", len(inst.S1), len(h1), q1)
+	}
+	r := p1.Size()
+	kSide := p2.Size()
+	h2 := p2.IncidenceEdges()
+
+	base := func(group, block int) graph.V {
+		return graph.V((group*r + block) * kSide)
+	}
+	// groups: 0 = A blocks, 1 = B blocks, 2 = C blocks, 3 = D blocks.
+	b := graph.NewBuilder()
+	// Fixed H2 copies: A_i–C_i and B_j–D_j.
+	for i := 0; i < r; i++ {
+		for _, e := range h2 {
+			if err := b.Add(base(0, i)+graph.V(e[0]), base(2, i)+graph.V(e[1])); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+			if err := b.Add(base(1, i)+graph.V(e[0]), base(3, i)+graph.V(e[1])); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+		}
+	}
+	// Input-selected matchings along H1 edges.
+	var inter int64
+	for t, e := range h1 {
+		i, j := e[0], e[1]
+		if inst.S1[t] {
+			for p := 0; p < kSide; p++ {
+				if err := b.Add(base(0, i)+graph.V(p), base(1, j)+graph.V(p)); err != nil {
+					return nil, fmt.Errorf("lb: %w", err)
+				}
+			}
+		}
+		if inst.S2[t] {
+			for p := 0; p < kSide; p++ {
+				if err := b.Add(base(2, i)+graph.V(p), base(3, j)+graph.V(p)); err != nil {
+					return nil, fmt.Errorf("lb: %w", err)
+				}
+			}
+		}
+		if inst.S1[t] && inst.S2[t] {
+			inter++
+		}
+	}
+	g := b.Graph()
+	var alice, bob []graph.V
+	for i := 0; i < r; i++ {
+		alice = append(alice, vrange(base(0, i), kSide)...)
+		alice = append(alice, vrange(base(1, i), kSide)...)
+		bob = append(bob, vrange(base(2, i), kSide)...)
+		bob = append(bob, vrange(base(3, i), kSide)...)
+	}
+	want := int64(len(h2))
+	if inter > 1 {
+		want *= inter
+	}
+	segs, err := segmentsFor(g, [][]graph.V{alice, bob})
+	if err != nil {
+		return nil, err
+	}
+	return &Gadget{G: g, Segments: segs, CycleLen: 4, Want: want, Answer: inst.Answer()}, nil
+}
+
+// LongCycleGadget encodes a DISJ_r instance as the Figure 1e ℓ-cycle gadget
+// for ℓ ≥ 5 (Theorem 5.5): Alice holds a_1..a_{r+1}; Bob holds b_1..b_r,
+// the T-vertex fan C, and the path d_1..d_{ℓ-4}. Each common index yields
+// exactly T ℓ-cycles a_i–b_i–d_1–…–d_{ℓ-4}–c_j–a_{r+1}–a_i.
+func LongCycleGadget(inst comm.DisjInstance, T int, l int) (*Gadget, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if l < 5 {
+		return nil, fmt.Errorf("lb: cycle length %d < 5", l)
+	}
+	if T < 1 {
+		return nil, fmt.Errorf("lb: T = %d < 1", T)
+	}
+	r := len(inst.S1)
+	aBase := graph.V(0) // a_1..a_{r+1} = 0..r (hub = r)
+	hub := graph.V(r)
+	bBase := graph.V(r + 1)
+	cBase := bBase + graph.V(r)
+	dBase := cBase + graph.V(T)
+	nd := l - 4
+
+	b := graph.NewBuilder()
+	for i := 0; i < r; i++ {
+		if err := b.Add(aBase+graph.V(i), bBase+graph.V(i)); err != nil {
+			return nil, fmt.Errorf("lb: %w", err)
+		}
+	}
+	for j := 0; j < T; j++ {
+		if err := b.Add(hub, cBase+graph.V(j)); err != nil {
+			return nil, fmt.Errorf("lb: %w", err)
+		}
+		if err := b.Add(dBase+graph.V(nd-1), cBase+graph.V(j)); err != nil {
+			return nil, fmt.Errorf("lb: %w", err)
+		}
+	}
+	for i := 0; i+1 < nd; i++ {
+		if err := b.Add(dBase+graph.V(i), dBase+graph.V(i+1)); err != nil {
+			return nil, fmt.Errorf("lb: %w", err)
+		}
+	}
+	var inter int64
+	for i := 0; i < r; i++ {
+		if inst.S1[i] {
+			if err := b.Add(aBase+graph.V(i), hub); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+		}
+		if inst.S2[i] {
+			if err := b.Add(bBase+graph.V(i), dBase); err != nil {
+				return nil, fmt.Errorf("lb: %w", err)
+			}
+		}
+		if inst.S1[i] && inst.S2[i] {
+			inter++
+		}
+	}
+	g := b.Graph()
+	want := int64(T)
+	if inter > 1 {
+		want *= inter
+	}
+	segs, err := segmentsFor(g, [][]graph.V{
+		vrange(aBase, r+1),
+		append(append(vrange(bBase, r), vrange(cBase, T)...), vrange(dBase, nd)...),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Gadget{G: g, Segments: segs, CycleLen: l, Want: want, Answer: inst.Answer()}, nil
+}

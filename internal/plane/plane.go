@@ -1,0 +1,135 @@
+// Package plane constructs the projective plane PG(2,q) over a prime field
+// and its bipartite point–line incidence graph — the "field plane" of
+// Section 5.2 of the paper. For order q the plane has q²+q+1 points and as
+// many lines, every line contains q+1 points, and the incidence graph is
+// 4-cycle-free (girth 6) with Θ(r^{3/2}) edges on 2r vertices: any two
+// distinct points lie on exactly one common line and dually. These are the
+// extremal C4-free graphs used by the 4-cycle lower bounds (Thms 5.3, 5.4).
+package plane
+
+import (
+	"fmt"
+
+	"adjstream/internal/ff"
+	"adjstream/internal/graph"
+)
+
+// Plane is a projective plane of prime-power order q.
+type Plane struct {
+	q   int64
+	f   ff.GF
+	pts [][3]int64 // canonical homogeneous coordinates; lines use the same set
+}
+
+// New constructs PG(2,q) for any prime-power order q, over GF(q) (the prime
+// field for prime q, a polynomial extension field otherwise).
+func New(q int64) (*Plane, error) {
+	f, err := ff.ForOrder(q)
+	if err != nil {
+		return nil, fmt.Errorf("plane: order %d: %w", q, err)
+	}
+	p := &Plane{q: q, f: f}
+	// Canonical representatives of the projective points: (1,a,b), (0,1,c),
+	// (0,0,1) — exactly q² + q + 1 of them.
+	for a := int64(0); a < q; a++ {
+		for b := int64(0); b < q; b++ {
+			p.pts = append(p.pts, [3]int64{1, a, b})
+		}
+	}
+	for c := int64(0); c < q; c++ {
+		p.pts = append(p.pts, [3]int64{0, 1, c})
+	}
+	p.pts = append(p.pts, [3]int64{0, 0, 1})
+	return p, nil
+}
+
+// Order returns q.
+func (p *Plane) Order() int64 { return p.q }
+
+// Size returns the number of points r = q²+q+1 (equal to the number of
+// lines).
+func (p *Plane) Size() int { return len(p.pts) }
+
+// Point returns the canonical homogeneous coordinates of point i.
+func (p *Plane) Point(i int) [3]int64 { return p.pts[i] }
+
+// Incident reports whether point i lies on line j (the line with the same
+// index uses the dual coordinates): incidence is ⟨pt_i, ln_j⟩ = 0 in GF(q).
+func (p *Plane) Incident(i, j int) bool {
+	return p.f.Dot3(p.pts[i], p.pts[j]) == 0
+}
+
+// LinePoints returns the indices of the q+1 points on line j.
+func (p *Plane) LinePoints(j int) []int {
+	out := make([]int, 0, p.q+1)
+	for i := range p.pts {
+		if p.Incident(i, j) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IncidenceGraph returns the bipartite point–line incidence graph. Point i
+// becomes vertex pointBase+i and line j becomes vertex lineBase+j; the two
+// ranges must not overlap. The graph has 2r vertices, r(q+1) edges, and
+// girth 6.
+func (p *Plane) IncidenceGraph(pointBase, lineBase graph.V) (*graph.Graph, error) {
+	r := graph.V(p.Size())
+	if !disjoint(pointBase, pointBase+r, lineBase, lineBase+r) {
+		return nil, fmt.Errorf("plane: vertex ranges [%d,%d) and [%d,%d) overlap", pointBase, pointBase+r, lineBase, lineBase+r)
+	}
+	b := graph.NewBuilder()
+	for j := 0; j < p.Size(); j++ {
+		for _, i := range p.LinePoints(j) {
+			if err := b.Add(pointBase+graph.V(i), lineBase+graph.V(j)); err != nil {
+				return nil, fmt.Errorf("plane: %w", err)
+			}
+		}
+	}
+	return b.Graph(), nil
+}
+
+func disjoint(a0, a1, b0, b1 graph.V) bool {
+	return a1 <= b0 || b1 <= a0
+}
+
+// IncidenceEdges returns the incidence relation as (pointIndex, lineIndex)
+// pairs, for callers that embed the plane into larger gadget graphs with
+// their own vertex naming.
+func (p *Plane) IncidenceEdges() [][2]int {
+	var out [][2]int
+	for j := 0; j < p.Size(); j++ {
+		for _, i := range p.LinePoints(j) {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// C4FreeBipartite returns a dense bipartite 4-cycle-free graph with both
+// sides of size at least minSide, by choosing the smallest prime q with
+// q²+q+1 ≥ minSide and returning the incidence graph of PG(2,q). The left
+// side occupies [pointBase, pointBase+r), the right side
+// [lineBase, lineBase+r); r is returned.
+func C4FreeBipartite(minSide int, pointBase, lineBase graph.V) (g *graph.Graph, r int, err error) {
+	if minSide < 1 {
+		return nil, 0, fmt.Errorf("plane: minSide must be positive")
+	}
+	q := int64(2)
+	for {
+		if q*q+q+1 >= int64(minSide) {
+			break
+		}
+		q = ff.PrimeAtLeast(q + 1)
+	}
+	p, err := New(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	g, err = p.IncidenceGraph(pointBase, lineBase)
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, p.Size(), nil
+}

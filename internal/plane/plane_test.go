@@ -1,0 +1,216 @@
+package plane
+
+import (
+	"testing"
+
+	"adjstream/internal/graph"
+)
+
+func TestPlaneSizes(t *testing.T) {
+	for _, q := range []int64{2, 3, 5, 7, 11} {
+		p, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(q*q + q + 1)
+		if p.Size() != want {
+			t.Errorf("q=%d: Size = %d, want %d", q, p.Size(), want)
+		}
+		if p.Order() != q {
+			t.Errorf("q=%d: Order = %d", q, p.Order())
+		}
+	}
+}
+
+func TestNewRejectsNonPrimePower(t *testing.T) {
+	for _, q := range []int64{0, 1, 6, 10, 12} {
+		if _, err := New(q); err == nil {
+			t.Errorf("New(%d) should fail", q)
+		}
+	}
+}
+
+// Prime-power orders build over polynomial extension fields and must have
+// the same plane axioms and the girth-6 incidence graphs.
+func TestPrimePowerOrders(t *testing.T) {
+	for _, q := range []int64{4, 8, 9} {
+		p, err := New(q)
+		if err != nil {
+			t.Fatalf("New(%d): %v", q, err)
+		}
+		want := int(q*q + q + 1)
+		if p.Size() != want {
+			t.Fatalf("q=%d: Size = %d, want %d", q, p.Size(), want)
+		}
+		for j := 0; j < p.Size(); j++ {
+			if got := len(p.LinePoints(j)); got != int(q+1) {
+				t.Fatalf("q=%d line %d has %d points, want %d", q, j, got, q+1)
+			}
+		}
+		g, err := p.IncidenceGraph(0, graph.V(p.Size()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc := g.FourCycles(); fc != 0 {
+			t.Fatalf("q=%d: incidence graph has %d 4-cycles", q, fc)
+		}
+		if girth := g.Girth(); girth != 6 {
+			t.Fatalf("q=%d: girth = %d, want 6", q, girth)
+		}
+	}
+}
+
+// Two distinct points of PG(2,4) lie on exactly one common line (checked on
+// a sample of pairs — the full quadratic check runs for prime orders).
+func TestPrimePowerUniqueLines(t *testing.T) {
+	p, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Size()
+	for i := 0; i < r; i += 3 {
+		for j := i + 1; j < r; j += 2 {
+			common := 0
+			for l := 0; l < r; l++ {
+				if p.Incident(i, l) && p.Incident(j, l) {
+					common++
+				}
+			}
+			if common != 1 {
+				t.Fatalf("points %d,%d on %d common lines", i, j, common)
+			}
+		}
+	}
+}
+
+func TestEveryLineHasQPlus1Points(t *testing.T) {
+	for _, q := range []int64{2, 3, 5} {
+		p, _ := New(q)
+		for j := 0; j < p.Size(); j++ {
+			if got := len(p.LinePoints(j)); got != int(q+1) {
+				t.Fatalf("q=%d line %d has %d points, want %d", q, j, got, q+1)
+			}
+		}
+	}
+}
+
+func TestTwoPointsOneCommonLine(t *testing.T) {
+	p, _ := New(3)
+	r := p.Size()
+	for i := 0; i < r; i++ {
+		for j := i + 1; j < r; j++ {
+			common := 0
+			for l := 0; l < r; l++ {
+				if p.Incident(i, l) && p.Incident(j, l) {
+					common++
+				}
+			}
+			if common != 1 {
+				t.Fatalf("points %d,%d lie on %d common lines, want 1", i, j, common)
+			}
+		}
+	}
+}
+
+func TestTwoLinesOneCommonPoint(t *testing.T) {
+	p, _ := New(3)
+	r := p.Size()
+	for l1 := 0; l1 < r; l1++ {
+		for l2 := l1 + 1; l2 < r; l2++ {
+			common := 0
+			for i := 0; i < r; i++ {
+				if p.Incident(i, l1) && p.Incident(i, l2) {
+					common++
+				}
+			}
+			if common != 1 {
+				t.Fatalf("lines %d,%d share %d points, want 1", l1, l2, common)
+			}
+		}
+	}
+}
+
+func TestIncidenceGraphProperties(t *testing.T) {
+	for _, q := range []int64{2, 3, 5} {
+		p, _ := New(q)
+		r := graph.V(p.Size())
+		g, err := p.IncidenceGraph(0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 2*int(r) {
+			t.Errorf("q=%d: N = %d, want %d", q, g.N(), 2*r)
+		}
+		if g.M() != int64(r)*(q+1) {
+			t.Errorf("q=%d: M = %d, want %d", q, g.M(), int64(r)*(q+1))
+		}
+		for _, v := range g.Vertices() {
+			if g.Degree(v) != int(q+1) {
+				t.Fatalf("q=%d: degree(%d) = %d, want %d", q, v, g.Degree(v), q+1)
+			}
+		}
+		if fc := g.FourCycles(); fc != 0 {
+			t.Errorf("q=%d: incidence graph has %d 4-cycles, want 0", q, fc)
+		}
+		if tr := g.Triangles(); tr != 0 {
+			t.Errorf("q=%d: incidence graph has %d triangles (not bipartite?)", q, tr)
+		}
+		if girth := g.Girth(); girth != 6 {
+			t.Errorf("q=%d: girth = %d, want 6", q, girth)
+		}
+	}
+}
+
+func TestIncidenceGraphRejectsOverlap(t *testing.T) {
+	p, _ := New(2)
+	if _, err := p.IncidenceGraph(0, 3); err == nil {
+		t.Fatal("expected overlap error (r=7, lineBase=3)")
+	}
+}
+
+func TestIncidenceEdgesCount(t *testing.T) {
+	p, _ := New(3)
+	es := p.IncidenceEdges()
+	if len(es) != p.Size()*4 {
+		t.Fatalf("incidences = %d, want %d", len(es), p.Size()*4)
+	}
+	for _, e := range es {
+		if !p.Incident(e[0], e[1]) {
+			t.Fatalf("pair %v not incident", e)
+		}
+	}
+}
+
+func TestC4FreeBipartite(t *testing.T) {
+	g, r, err := C4FreeBipartite(20, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 20 {
+		t.Fatalf("r = %d, want ≥ 20", r)
+	}
+	if g.FourCycles() != 0 {
+		t.Fatal("graph should be 4-cycle-free")
+	}
+	if _, _, err := C4FreeBipartite(0, 0, 1000); err == nil {
+		t.Fatal("expected error for minSide=0")
+	}
+}
+
+// The Θ(r^{3/2}) edge density claim: m = r(q+1) ≈ r^{3/2} since r ≈ q².
+func TestEdgeDensityScaling(t *testing.T) {
+	for _, q := range []int64{3, 5, 7, 11} {
+		p, _ := New(q)
+		r := float64(p.Size())
+		m := r * float64(q+1)
+		lo, hi := r*r/(2*r), 2*r // crude sanity window around r^{1/2} per vertex
+		perVertex := m / r
+		if perVertex < 1 || float64(perVertex) > hi || lo < 0 {
+			t.Fatalf("q=%d density out of range", q)
+		}
+		// Tighter check: q+1 ∈ [√r, √(2r)] since r = q²+q+1.
+		if float64((q+1)*(q+1)) < r || float64((q+1)*(q+1)) > 2*r {
+			t.Fatalf("q=%d: (q+1)² = %d not within [r, 2r] = [%v, %v]", q, (q+1)*(q+1), r, 2*r)
+		}
+	}
+}

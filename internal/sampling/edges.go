@@ -1,0 +1,214 @@
+package sampling
+
+import (
+	"container/heap"
+
+	"adjstream/internal/graph"
+)
+
+// EdgeSampler decides streaming membership of edges in the sample set S.
+// Both samplers share the crucial first-sight property: Offer must be called
+// the first time an edge appears (in either orientation), and an edge that
+// is in the final sample was accepted at that moment and never left — except
+// under bottom-k, which may evict and reports evictions to the caller.
+type EdgeSampler interface {
+	// Offer presents edge {u,v} at its first appearance and reports whether
+	// it is (currently) in the sample.
+	Offer(u, v graph.V) bool
+	// Contains reports whether {u,v} is currently in the sample.
+	Contains(u, v graph.V) bool
+	// Len returns the current sample size.
+	Len() int
+	// InclusionScale returns the factor 1/Pr[e ∈ S] used by estimators,
+	// given the final number of edges m (needed by bottom-k).
+	InclusionScale(m int64) float64
+}
+
+// FixedProb includes each edge independently with probability p, decided by
+// a seeded hash, so both appearances of an edge agree.
+type FixedProb struct {
+	seed      uint64
+	threshold uint64
+	p         float64
+	set       map[graph.Edge]struct{}
+}
+
+// NewFixedProb returns a hash sampler with inclusion probability p.
+func NewFixedProb(p float64, seed uint64) *FixedProb {
+	return &FixedProb{
+		seed:      seed,
+		threshold: ProbThreshold(p),
+		p:         p,
+		set:       make(map[graph.Edge]struct{}),
+	}
+}
+
+// Offer implements EdgeSampler.
+func (f *FixedProb) Offer(u, v graph.V) bool {
+	if HashEdge(f.seed, u, v) < f.threshold {
+		f.set[graph.Edge{U: u, V: v}.Norm()] = struct{}{}
+		return true
+	}
+	return false
+}
+
+// Contains implements EdgeSampler.
+func (f *FixedProb) Contains(u, v graph.V) bool {
+	_, ok := f.set[graph.Edge{U: u, V: v}.Norm()]
+	return ok
+}
+
+// Len implements EdgeSampler.
+func (f *FixedProb) Len() int { return len(f.set) }
+
+// InclusionScale implements EdgeSampler.
+func (f *FixedProb) InclusionScale(m int64) float64 {
+	if f.p <= 0 {
+		return 0
+	}
+	return 1 / f.p
+}
+
+// P returns the inclusion probability.
+func (f *FixedProb) P() float64 { return f.p }
+
+// Edges returns the edges currently in the sample (unsorted).
+func (f *FixedProb) Edges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(f.set))
+	for e := range f.set {
+		out = append(out, e)
+	}
+	return out
+}
+
+// BottomK keeps the k edges with the smallest hash values seen so far. The
+// final sample is a uniformly random size-k subset of the edges (or all of
+// them if fewer than k arrive). Because the running threshold (the k-th
+// smallest hash) only decreases, every edge in the final sample has been in
+// the running sample since its first appearance.
+type BottomK struct {
+	seed    uint64
+	k       int
+	h       hashHeap // max-heap on hash
+	onEvict func(graph.Edge)
+}
+
+type hashEntry struct {
+	e graph.Edge
+	h uint64
+}
+
+type hashHeap struct {
+	entries []hashEntry
+	pos     map[graph.Edge]int
+}
+
+func (h *hashHeap) Len() int           { return len(h.entries) }
+func (h *hashHeap) Less(i, j int) bool { return h.entries[i].h > h.entries[j].h } // max-heap
+func (h *hashHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.pos[h.entries[i].e] = i
+	h.pos[h.entries[j].e] = j
+}
+func (h *hashHeap) Push(x any) {
+	e := x.(hashEntry)
+	h.pos[e.e] = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+func (h *hashHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	delete(h.pos, e.e)
+	return e
+}
+
+// NewBottomK returns a bottom-k sampler of capacity k. onEvict, if non-nil,
+// is invoked whenever a previously accepted edge leaves the sample, letting
+// callers discard dependent state (e.g. collected triangles).
+func NewBottomK(k int, seed uint64, onEvict func(graph.Edge)) *BottomK {
+	if k <= 0 {
+		panic("sampling: bottom-k capacity must be positive")
+	}
+	b := &BottomK{seed: seed, k: k, onEvict: onEvict}
+	b.h.pos = make(map[graph.Edge]int)
+	return b
+}
+
+// Offer implements EdgeSampler. Offering an edge that is already in the
+// sample is a no-op reporting true, so both stream appearances of an edge
+// may be offered safely.
+func (b *BottomK) Offer(u, v graph.V) bool {
+	e := graph.Edge{U: u, V: v}.Norm()
+	if _, ok := b.h.pos[e]; ok {
+		return true
+	}
+	hv := HashEdge(b.seed, u, v)
+	if len(b.h.entries) < b.k {
+		heap.Push(&b.h, hashEntry{e, hv})
+		return true
+	}
+	if hv >= b.h.entries[0].h {
+		return false
+	}
+	victim := heap.Pop(&b.h).(hashEntry)
+	heap.Push(&b.h, hashEntry{e, hv})
+	if b.onEvict != nil {
+		b.onEvict(victim.e)
+	}
+	return true
+}
+
+// Shrink reduces the sampler's capacity to newK (no-op if newK ≥ current),
+// evicting the largest-hash edges. Because capacity only decreases, the
+// final sample remains exactly the bottom-newK set by hash — a uniformly
+// random subset — and every surviving edge has been in the sample since its
+// first appearance, preserving the property the two-pass algorithm needs.
+// This is what makes adaptive space budgets possible when T is unknown.
+func (b *BottomK) Shrink(newK int) {
+	if newK < 1 || newK >= b.k {
+		return
+	}
+	b.k = newK
+	for len(b.h.entries) > b.k {
+		victim := heap.Pop(&b.h).(hashEntry)
+		if b.onEvict != nil {
+			b.onEvict(victim.e)
+		}
+	}
+}
+
+// K returns the current capacity.
+func (b *BottomK) K() int { return b.k }
+
+// Contains implements EdgeSampler.
+func (b *BottomK) Contains(u, v graph.V) bool {
+	_, ok := b.h.pos[graph.Edge{U: u, V: v}.Norm()]
+	return ok
+}
+
+// Len implements EdgeSampler.
+func (b *BottomK) Len() int { return len(b.h.entries) }
+
+// InclusionScale implements EdgeSampler. For bottom-k the final sample has
+// min(k, m) edges, each equally likely, so Pr[e ∈ S] = min(k,m)/m.
+func (b *BottomK) InclusionScale(m int64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	sz := int64(b.k)
+	if m < sz {
+		sz = m
+	}
+	return float64(m) / float64(sz)
+}
+
+// Edges returns the edges currently in the sample (unsorted).
+func (b *BottomK) Edges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(b.h.entries))
+	for _, e := range b.h.entries {
+		out = append(out, e.e)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package sampling provides the streaming samplers used by the cycle
+// counting algorithms: seeded 64-bit hashing of edges, uniform fixed-size
+// reservoir sampling, fixed-probability hash sampling, and bottom-k hash
+// sampling of edges. The bottom-k sampler has the property the paper's
+// two-pass triangle algorithm relies on (Section 2.1): every edge of the
+// final sample has been tracked continuously since its first appearance in
+// the stream, because the running inclusion threshold only decreases.
+package sampling
+
+import "adjstream/internal/graph"
+
+// splitmix64 is the finalizer of the SplitMix64 generator; it is a strong
+// 64-bit mixer suitable for hashing.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash64 hashes x under the given seed.
+func Hash64(seed, x uint64) uint64 {
+	return splitmix64(splitmix64(seed) ^ splitmix64(x))
+}
+
+// HashEdge hashes the undirected edge {u,v} symmetrically under seed: both
+// orientations produce the same value, so a sampler can decide membership
+// the first time either endpoint's adjacency list presents the edge.
+func HashEdge(seed uint64, u, v graph.V) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return Hash64(seed, splitmix64(uint64(u))^splitmix64(uint64(v))*0x2545f4914f6cdd1d)
+}
+
+// ProbThreshold converts an inclusion probability p ∈ [0,1] to a uint64
+// threshold such that a uniform hash is below it with probability p.
+func ProbThreshold(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return ^uint64(0)
+	default:
+		return uint64(p * float64(1<<63) * 2)
+	}
+}

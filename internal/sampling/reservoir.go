@@ -1,0 +1,59 @@
+package sampling
+
+import "math/rand/v2"
+
+// Reservoir maintains a uniformly random size-k subset of the items offered
+// so far (all items if fewer than k have been offered), using classic
+// reservoir sampling. It is deterministic given the seed.
+type Reservoir[T any] struct {
+	k     int
+	n     int64 // items offered
+	items []T
+	rng   *rand.Rand
+}
+
+// NewReservoir returns a reservoir of capacity k seeded deterministically.
+// k must be positive.
+func NewReservoir[T any](k int, seed uint64) *Reservoir[T] {
+	if k <= 0 {
+		panic("sampling: reservoir capacity must be positive")
+	}
+	return &Reservoir[T]{
+		k:   k,
+		rng: rand.New(rand.NewPCG(seed, seed^0xe7037ed1a0b428db)),
+	}
+}
+
+// Offer presents an item. It reports whether the item was accepted into the
+// reservoir and, if accepting evicted a previous item, returns that item
+// with evicted=true.
+func (r *Reservoir[T]) Offer(item T) (victim T, evicted, accepted bool) {
+	r.n++
+	if len(r.items) < r.k {
+		r.items = append(r.items, item)
+		return victim, false, true
+	}
+	j := r.rng.Int64N(r.n)
+	if j >= int64(r.k) {
+		return victim, false, false
+	}
+	victim = r.items[j]
+	r.items[j] = item
+	return victim, true, true
+}
+
+// Items returns the current sample. The slice is shared; do not modify.
+func (r *Reservoir[T]) Items() []T { return r.items }
+
+// Len returns the current sample size.
+func (r *Reservoir[T]) Len() int { return len(r.items) }
+
+// Cap returns the reservoir capacity k.
+func (r *Reservoir[T]) Cap() int { return r.k }
+
+// Offered returns the total number of items offered so far.
+func (r *Reservoir[T]) Offered() int64 { return r.n }
+
+// Saturated reports whether more items have been offered than fit, i.e. the
+// sample is a strict subset of the offered items.
+func (r *Reservoir[T]) Saturated() bool { return r.n > int64(r.k) }

@@ -1,0 +1,284 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adjstream/internal/graph"
+)
+
+func TestHashEdgeSymmetric(t *testing.T) {
+	f := func(seed uint64, u, v int64) bool {
+		return HashEdge(seed, graph.V(u), graph.V(v)) == HashEdge(seed, graph.V(v), graph.V(u))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashEdgeSeedSensitivity(t *testing.T) {
+	a := HashEdge(1, 10, 20)
+	b := HashEdge(2, 10, 20)
+	if a == b {
+		t.Fatal("different seeds should (almost surely) give different hashes")
+	}
+}
+
+func TestHash64Uniformish(t *testing.T) {
+	// Crude uniformity check: the fraction of hashes below a threshold for
+	// p=0.25 should be close to 0.25.
+	thr := ProbThreshold(0.25)
+	n, below := 20000, 0
+	for i := 0; i < n; i++ {
+		if Hash64(99, uint64(i)) < thr {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("fraction below threshold = %v, want ≈0.25", frac)
+	}
+}
+
+func TestProbThresholdBounds(t *testing.T) {
+	if ProbThreshold(0) != 0 {
+		t.Error("p=0 should give threshold 0")
+	}
+	if ProbThreshold(-1) != 0 {
+		t.Error("p<0 should give threshold 0")
+	}
+	if ProbThreshold(1) != ^uint64(0) {
+		t.Error("p=1 should give max threshold")
+	}
+	if ProbThreshold(2) != ^uint64(0) {
+		t.Error("p>1 should give max threshold")
+	}
+	if ProbThreshold(0.5) < 1<<62 || ProbThreshold(0.5) > 3<<62 {
+		t.Error("p=0.5 threshold out of plausible range")
+	}
+}
+
+func TestReservoirKeepsAllWhenUnderCapacity(t *testing.T) {
+	r := NewReservoir[int](10, 1)
+	for i := 0; i < 7; i++ {
+		if _, ev, acc := r.Offer(i); ev || !acc {
+			t.Fatal("under capacity: every item accepted, none evicted")
+		}
+	}
+	if r.Len() != 7 || r.Saturated() {
+		t.Fatalf("Len=%d Saturated=%v", r.Len(), r.Saturated())
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Offer 0..99 into a size-10 reservoir many times; each item should be
+	// kept with probability ≈ 0.1.
+	const trials = 3000
+	counts := make([]int, 100)
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir[int](10, uint64(trial)+1)
+		for i := 0; i < 100; i++ {
+			r.Offer(i)
+		}
+		for _, it := range r.Items() {
+			counts[it]++
+		}
+	}
+	for i, c := range counts {
+		frac := float64(c) / trials
+		if math.Abs(frac-0.1) > 0.03 {
+			t.Fatalf("item %d kept with frequency %v, want ≈0.1", i, frac)
+		}
+	}
+}
+
+func TestReservoirEvictionReporting(t *testing.T) {
+	r := NewReservoir[int](1, 3)
+	r.Offer(42)
+	sawEvict := false
+	for i := 0; i < 100; i++ {
+		if v, ev, acc := r.Offer(i); ev {
+			sawEvict = true
+			if !acc {
+				t.Fatal("eviction implies acceptance")
+			}
+			_ = v
+		}
+	}
+	if !sawEvict {
+		t.Fatal("expected at least one eviction in 100 offers to a size-1 reservoir")
+	}
+	if r.Offered() != 101 {
+		t.Fatalf("Offered = %d, want 101", r.Offered())
+	}
+}
+
+func TestReservoirPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	NewReservoir[int](0, 1)
+}
+
+func TestFixedProbConsistency(t *testing.T) {
+	s := NewFixedProb(0.5, 7)
+	for u := graph.V(0); u < 50; u++ {
+		for v := u + 1; v < 50; v++ {
+			first := s.Offer(u, v)
+			if got := s.Contains(v, u); got != first {
+				t.Fatalf("Contains disagrees with Offer for {%d,%d}", u, v)
+			}
+			// Offering the reverse orientation must agree.
+			if second := s.Offer(v, u); second != first {
+				t.Fatalf("Offer not orientation-symmetric for {%d,%d}", u, v)
+			}
+		}
+	}
+}
+
+func TestFixedProbRate(t *testing.T) {
+	s := NewFixedProb(0.3, 11)
+	n, in := 0, 0
+	for u := graph.V(0); u < 100; u++ {
+		for v := u + 1; v < 100; v++ {
+			n++
+			if s.Offer(u, v) {
+				in++
+			}
+		}
+	}
+	frac := float64(in) / float64(n)
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Fatalf("inclusion rate %v, want ≈0.3", frac)
+	}
+	if s.InclusionScale(int64(n)) != 1/0.3 {
+		t.Fatalf("InclusionScale = %v", s.InclusionScale(int64(n)))
+	}
+}
+
+func TestBottomKExactSize(t *testing.T) {
+	b := NewBottomK(25, 5, nil)
+	for u := graph.V(0); u < 40; u++ {
+		b.Offer(u, u+1000)
+	}
+	if b.Len() != 25 {
+		t.Fatalf("Len = %d, want 25", b.Len())
+	}
+	if len(b.Edges()) != 25 {
+		t.Fatalf("Edges len = %d, want 25", len(b.Edges()))
+	}
+}
+
+func TestBottomKKeepsAllWhenSmall(t *testing.T) {
+	b := NewBottomK(100, 5, nil)
+	for u := graph.V(0); u < 10; u++ {
+		if !b.Offer(u, u+1000) {
+			t.Fatal("under capacity: all offers accepted")
+		}
+	}
+	if b.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", b.Len())
+	}
+	if b.InclusionScale(10) != 1 {
+		t.Fatalf("scale = %v, want 1 when m ≤ k", b.InclusionScale(10))
+	}
+}
+
+func TestBottomKKeepsSmallestHashes(t *testing.T) {
+	const k, n = 10, 200
+	b := NewBottomK(k, 9, nil)
+	type eh struct {
+		e graph.Edge
+		h uint64
+	}
+	var all []eh
+	for u := graph.V(0); u < n; u++ {
+		e := graph.Edge{U: u, V: u + 1000}
+		all = append(all, eh{e, HashEdge(9, e.U, e.V)})
+		b.Offer(e.U, e.V)
+	}
+	// Find the k smallest hashes.
+	want := map[graph.Edge]bool{}
+	for i := 0; i < k; i++ {
+		best := -1
+		for j, x := range all {
+			if want[x.e] {
+				continue
+			}
+			if best == -1 || x.h < all[best].h {
+				best = j
+			}
+		}
+		want[all[best].e] = true
+	}
+	for _, e := range b.Edges() {
+		if !want[e] {
+			t.Fatalf("edge %v in sample but not among k smallest hashes", e)
+		}
+	}
+}
+
+func TestBottomKEvictionCallbackAndContains(t *testing.T) {
+	evicted := map[graph.Edge]bool{}
+	b := NewBottomK(5, 13, func(e graph.Edge) { evicted[e] = true })
+	for u := graph.V(0); u < 50; u++ {
+		b.Offer(u, u+1000)
+	}
+	if len(evicted) == 0 {
+		t.Fatal("expected evictions")
+	}
+	for e := range evicted {
+		if b.Contains(e.U, e.V) {
+			t.Fatalf("evicted edge %v still reported present", e)
+		}
+	}
+	for _, e := range b.Edges() {
+		if evicted[e] {
+			t.Fatalf("sample edge %v was reported evicted", e)
+		}
+		if !b.Contains(e.U, e.V) || !b.Contains(e.V, e.U) {
+			t.Fatalf("Contains false for sample edge %v", e)
+		}
+	}
+}
+
+func TestBottomKFirstSightProperty(t *testing.T) {
+	// Every edge in the final sample must have been accepted at its offer
+	// and never evicted — i.e. accepted(e) && !evicted(e).
+	accepted := map[graph.Edge]bool{}
+	evicted := map[graph.Edge]bool{}
+	b := NewBottomK(8, 21, func(e graph.Edge) { evicted[e] = true })
+	for u := graph.V(0); u < 100; u++ {
+		e := graph.Edge{U: u, V: u + 500}
+		if b.Offer(e.U, e.V) {
+			accepted[e] = true
+		}
+	}
+	for _, e := range b.Edges() {
+		if !accepted[e] || evicted[e] {
+			t.Fatalf("final edge %v: accepted=%v evicted=%v", e, accepted[e], evicted[e])
+		}
+	}
+}
+
+func TestBottomKInclusionScale(t *testing.T) {
+	b := NewBottomK(10, 1, nil)
+	if got := b.InclusionScale(100); got != 10 {
+		t.Fatalf("scale = %v, want 10", got)
+	}
+	if got := b.InclusionScale(0); got != 0 {
+		t.Fatalf("scale(0) = %v, want 0", got)
+	}
+}
+
+func TestBottomKPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	NewBottomK(0, 1, nil)
+}

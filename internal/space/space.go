@@ -1,0 +1,48 @@
+// Package space provides word-level space accounting for streaming
+// algorithms. Each algorithm owns a Meter and charges it for the state it
+// stores (sampled edges, candidate triangles, watchers, counters); the meter
+// tracks the current and peak usage in machine words, which is the unit the
+// paper's space bounds are stated in (up to the log n factor of encoding a
+// vertex id in a word).
+package space
+
+// Meter tracks live and peak words of state.
+type Meter struct {
+	live int64
+	peak int64
+}
+
+// Charge adds w words of live state (w may be negative to release).
+func (m *Meter) Charge(w int64) {
+	m.live += w
+	if m.live > m.peak {
+		m.peak = m.live
+	}
+}
+
+// Release subtracts w words of live state.
+func (m *Meter) Release(w int64) { m.live -= w }
+
+// Live returns the current live words.
+func (m *Meter) Live() int64 { return m.live }
+
+// Peak returns the high-water mark in words.
+func (m *Meter) Peak() int64 { return m.peak }
+
+// Reset clears both counters.
+func (m *Meter) Reset() { m.live, m.peak = 0, 0 }
+
+// Words of state per stored object, used consistently by the algorithms so
+// that space measurements are comparable across estimators.
+const (
+	// WordsPerEdge covers the two endpoint ids of a stored edge.
+	WordsPerEdge = 2
+	// WordsPerTriangle covers three vertex ids.
+	WordsPerTriangle = 3
+	// WordsPerWedge covers three vertex ids.
+	WordsPerWedge = 3
+	// WordsPerCounter covers one 64-bit counter.
+	WordsPerCounter = 1
+	// WordsPerWatcher covers a watcher (two endpoints, threshold, counter).
+	WordsPerWatcher = 4
+)

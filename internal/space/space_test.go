@@ -1,0 +1,45 @@
+package space
+
+import "testing"
+
+func TestMeterChargeRelease(t *testing.T) {
+	var m Meter
+	m.Charge(10)
+	if m.Live() != 10 || m.Peak() != 10 {
+		t.Fatalf("live=%d peak=%d", m.Live(), m.Peak())
+	}
+	m.Charge(5)
+	m.Release(12)
+	if m.Live() != 3 {
+		t.Fatalf("live = %d, want 3", m.Live())
+	}
+	if m.Peak() != 15 {
+		t.Fatalf("peak = %d, want 15", m.Peak())
+	}
+}
+
+func TestMeterNegativeCharge(t *testing.T) {
+	var m Meter
+	m.Charge(8)
+	m.Charge(-3)
+	if m.Live() != 5 || m.Peak() != 8 {
+		t.Fatalf("live=%d peak=%d", m.Live(), m.Peak())
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	var m Meter
+	m.Charge(7)
+	m.Reset()
+	if m.Live() != 0 || m.Peak() != 0 {
+		t.Fatalf("reset failed: live=%d peak=%d", m.Live(), m.Peak())
+	}
+}
+
+func TestObjectSizesPositive(t *testing.T) {
+	for _, w := range []int64{WordsPerEdge, WordsPerTriangle, WordsPerWedge, WordsPerCounter, WordsPerWatcher} {
+		if w <= 0 {
+			t.Fatalf("non-positive object size %d", w)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package stats provides the estimator-aggregation utilities shared by the
+// streaming algorithms: median-of-independent-copies amplification (the
+// standard boost from 2/3 success probability to 1-δ), running moments, and
+// error metrics used throughout the experiment harness.
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Median returns the median of xs (the lower of the two central elements for
+// even lengths). It returns NaN for empty input and does not modify xs.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return cp[(len(cp)-1)/2]
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN for empty input.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	mu := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// RelErr returns |est-truth|/truth, or NaN when truth is zero.
+func RelErr(est, truth float64) float64 {
+	if truth == 0 {
+		return math.NaN()
+	}
+	return math.Abs(est-truth) / truth
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by nearest-rank, or NaN
+// for empty input. It does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	i := int(math.Ceil(q*float64(len(cp)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(cp) {
+		i = len(cp) - 1
+	}
+	return cp[i]
+}
+
+// CopiesForConfidence returns the number of independent 2/3-success copies
+// whose median succeeds with probability at least 1-δ, via the standard
+// Chernoff bound ceil(48·ln(1/δ)) clipped to at least 1 (and forced odd so
+// the median is a sample point).
+func CopiesForConfidence(delta float64) int {
+	if delta <= 0 || delta >= 1 {
+		return 1
+	}
+	c := int(math.Ceil(48 * math.Log(1/delta) / 10)) // mildly tuned constant
+	if c < 1 {
+		c = 1
+	}
+	if c%2 == 0 {
+		c++
+	}
+	return c
+}
+
+// Running accumulates a stream of observations and exposes count, mean,
+// variance (Welford's algorithm) and extremes. The zero value is ready.
+type Running struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records x.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the running mean (NaN if empty).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the running population variance (NaN if empty).
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n)
+}
+
+// Min returns the minimum observation (NaN if empty).
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max returns the maximum observation (NaN if empty).
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}
+
+// BootstrapCI returns an approximate (lo, hi) confidence interval for the
+// statistic f over xs at the given level (e.g. 0.95), using b resamples
+// with the deterministic seed. It returns NaNs for empty input.
+func BootstrapCI(xs []float64, f func([]float64) float64, b int, level float64, seed uint64) (lo, hi float64) {
+	if len(xs) == 0 || b < 1 || level <= 0 || level >= 1 {
+		return math.NaN(), math.NaN()
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xd1b5_4a32_d192_ed03))
+	stats := make([]float64, b)
+	resample := make([]float64, len(xs))
+	for i := 0; i < b; i++ {
+		for j := range resample {
+			resample[j] = xs[rng.IntN(len(xs))]
+		}
+		stats[i] = f(resample)
+	}
+	alpha := (1 - level) / 2
+	return Quantile(stats, alpha), Quantile(stats, 1-alpha)
+}
+
+// FitPowerLaw fits y = c·x^a by least squares in log-log space and returns
+// the exponent a and coefficient c. Inputs must be positive and of equal
+// length ≥ 2; otherwise it returns NaNs.
+func FitPowerLaw(xs, ys []float64) (exponent, coeff float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return math.NaN(), math.NaN()
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), math.NaN()
+	}
+	exponent = (n*sxy - sx*sy) / den
+	coeff = math.Exp((sy - exponent*sx) / n)
+	return exponent, coeff
+}

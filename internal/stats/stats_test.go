@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2},
+		{[]float64{5, 5, 5}, 5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); got != 1.25 {
+		t.Errorf("Variance = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Error("empty input should be NaN")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v, want 0.1", got)
+	}
+	if got := RelErr(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v, want 0.1", got)
+	}
+	if !math.IsNaN(RelErr(1, 0)) {
+		t.Error("RelErr with zero truth should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Quantile(xs, 0.5); got != 5 {
+		t.Errorf("Q50 = %v", got)
+	}
+	if got := Quantile(xs, 0.9); got != 9 {
+		t.Errorf("Q90 = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 10 {
+		t.Errorf("Q100 = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty input should be NaN")
+	}
+}
+
+func TestCopiesForConfidence(t *testing.T) {
+	if got := CopiesForConfidence(0.5); got < 1 || got%2 == 0 {
+		t.Errorf("copies(0.5) = %d, want positive odd", got)
+	}
+	a, b := CopiesForConfidence(0.1), CopiesForConfidence(0.01)
+	if b < a {
+		t.Errorf("copies should grow as δ shrinks: %d vs %d", a, b)
+	}
+	if got := CopiesForConfidence(0); got != 1 {
+		t.Errorf("copies(0) = %d, want 1", got)
+	}
+	if got := CopiesForConfidence(1.5); got != 1 {
+		t.Errorf("copies(1.5) = %d, want 1", got)
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Variance()) || !math.IsNaN(r.Min()) || !math.IsNaN(r.Max()) {
+		t.Fatal("empty Running should report NaN")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	if math.Abs(r.Variance()-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", r.Variance())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningMatchesBatchQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true // skip degenerate inputs
+			}
+		}
+		var r Running
+		for _, x := range xs {
+			r.Add(x)
+		}
+		scale := 1 + math.Abs(Variance(xs))
+		return math.Abs(r.Mean()-Mean(xs)) < 1e-6 &&
+			math.Abs(r.Variance()-Variance(xs)) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, -2.0/3.0)
+	}
+	a, c := FitPowerLaw(xs, ys)
+	if math.Abs(a-(-2.0/3.0)) > 1e-9 {
+		t.Errorf("exponent = %v, want -2/3", a)
+	}
+	if math.Abs(c-3) > 1e-9 {
+		t.Errorf("coeff = %v, want 3", c)
+	}
+}
+
+func TestFitPowerLawRejectsBadInput(t *testing.T) {
+	if a, _ := FitPowerLaw([]float64{1}, []float64{1}); !math.IsNaN(a) {
+		t.Error("single point should be NaN")
+	}
+	if a, _ := FitPowerLaw([]float64{1, 2}, []float64{1}); !math.IsNaN(a) {
+		t.Error("length mismatch should be NaN")
+	}
+	if a, _ := FitPowerLaw([]float64{1, -2}, []float64{1, 2}); !math.IsNaN(a) {
+		t.Error("non-positive x should be NaN")
+	}
+	if a, _ := FitPowerLaw([]float64{1, 1}, []float64{1, 2}); !math.IsNaN(a) {
+		t.Error("constant x should be NaN")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i % 10) // mean 4.5
+	}
+	lo, hi := BootstrapCI(xs, Mean, 500, 0.95, 7)
+	if !(lo < 4.5 && 4.5 < hi) {
+		t.Fatalf("CI [%v, %v] does not cover the mean", lo, hi)
+	}
+	if hi-lo > 1.5 {
+		t.Fatalf("CI [%v, %v] too wide for n=200", lo, hi)
+	}
+	if lo2, _ := BootstrapCI(nil, Mean, 100, 0.95, 1); !math.IsNaN(lo2) {
+		t.Fatal("empty input should be NaN")
+	}
+	if lo2, _ := BootstrapCI(xs, Mean, 0, 0.95, 1); !math.IsNaN(lo2) {
+		t.Fatal("b=0 should be NaN")
+	}
+	if lo2, _ := BootstrapCI(xs, Mean, 10, 1.5, 1); !math.IsNaN(lo2) {
+		t.Fatal("bad level should be NaN")
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a1, b1 := BootstrapCI(xs, Median, 200, 0.9, 42)
+	a2, b2 := BootstrapCI(xs, Median, 200, 0.9, 42)
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("same seed gave different CIs")
+	}
+}

@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := randomGraph(40, 0.2, 7)
+	s := Random(g, 3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatalf("len %d vs %d", s2.Len(), s.Len())
+	}
+	for i := range s.Items() {
+		if s.Items()[i] != s2.Items()[i] {
+			t.Fatalf("item %d differs: %v vs %v", i, s2.Items()[i], s.Items()[i])
+		}
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	g := randomGraph(80, 0.3, 2)
+	s := Sorted(g)
+	var txt, bin bytes.Buffer
+	if err := WriteText(&txt, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, s); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Fatalf("binary (%d bytes) not smaller than text (%d bytes)", bin.Len(), txt.Len())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("xxxx"),
+		append([]byte("adj1"), 0xFF),          // truncated varint
+		append([]byte("adj1"), 4, 2, 1, 2),    // list shorter than promised
+		append([]byte("adj1"), 2, 2, 0, 2, 4), // trailing byte... constructed below
+	}
+	for i, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestBinaryRejectsTrailingData(t *testing.T) {
+	g := randomGraph(10, 0.4, 1)
+	s := Sorted(g)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0)
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("expected trailing-data error")
+	}
+}
+
+func TestBinaryRejectsInvalidStream(t *testing.T) {
+	// Hand-encode a stream whose edge appears only once: must be rejected
+	// by the model validation after decoding.
+	var buf bytes.Buffer
+	buf.Write([]byte("adj1"))
+	buf.WriteByte(1) // 1 item
+	buf.WriteByte(2) // owner 1 (zig-zag: 2 → 1)
+	buf.WriteByte(1) // list length 1
+	buf.WriteByte(4) // neighbor delta 2 (zig-zag: 4 → 2)
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(15, 0.35, seed%128+1)
+		if g.M() == 0 {
+			return true
+		}
+		s := Random(g, seed)
+		var buf bytes.Buffer
+		if WriteBinary(&buf, s) != nil {
+			return false
+		}
+		s2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return s2.Len() == s.Len() && s2.M() == s.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzReadBinary: the binary parser must never panic and must only accept
+// valid streams.
+func FuzzReadBinary(f *testing.F) {
+	g := randomGraph(8, 0.5, 3)
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, Sorted(g))
+	f.Add(buf.Bytes())
+	f.Add([]byte("adj1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		s, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := Validate(s.Items()); err != nil {
+			t.Fatalf("accepted invalid stream: %v", err)
+		}
+	})
+}

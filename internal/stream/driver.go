@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"fmt"
+
+	"adjstream/internal/graph"
+)
+
+// Algorithm is a multi-pass adjacency-list streaming algorithm. The driver
+// calls StartPass, then for each adjacency list StartList, Edge (once per
+// item), EndList, and finally EndPass — in stream order, item at a time, so
+// the algorithm can only use the state it explicitly stores.
+type Algorithm interface {
+	// Passes returns the number of passes the algorithm requires.
+	Passes() int
+	// StartPass is called before the first item of pass p (0-based).
+	StartPass(p int)
+	// StartList is called when the adjacency list of owner begins.
+	StartList(owner graph.V)
+	// Edge is called for each item (owner, nbr) of the current list.
+	Edge(owner, nbr graph.V)
+	// EndList is called when the adjacency list of owner ends.
+	EndList(owner graph.V)
+	// EndPass is called after the last item of pass p.
+	EndPass(p int)
+}
+
+// Run replays s once per pass of a. Every pass sees the identical order, the
+// setting required by the paper's two-pass triangle algorithm.
+func Run(s *Stream, a Algorithm) {
+	for p := 0; p < a.Passes(); p++ {
+		runPass(s, a, p)
+	}
+}
+
+// RunOrders drives a with a (possibly) different stream per pass. All
+// streams must present the same graph; this models algorithms such as the
+// 4-cycle counter that do not require identical pass orders. It returns an
+// error if the number of streams does not match the pass count or the
+// streams disagree on the edge count.
+func RunOrders(streams []*Stream, a Algorithm) error {
+	if len(streams) != a.Passes() {
+		return fmt.Errorf("stream: %d streams for %d passes", len(streams), a.Passes())
+	}
+	for i := 1; i < len(streams); i++ {
+		if streams[i].M() != streams[0].M() {
+			return fmt.Errorf("stream: pass %d has m=%d, pass 0 has m=%d", i, streams[i].M(), streams[0].M())
+		}
+	}
+	for p := 0; p < a.Passes(); p++ {
+		runPass(streams[p], a, p)
+	}
+	return nil
+}
+
+func runPass(s *Stream, a Algorithm, p int) {
+	a.StartPass(p)
+	inList := false
+	var cur graph.V
+	for _, it := range s.items {
+		if !inList || it.Owner != cur {
+			if inList {
+				a.EndList(cur)
+			}
+			cur = it.Owner
+			inList = true
+			a.StartList(cur)
+		}
+		a.Edge(it.Owner, it.Nbr)
+	}
+	if inList {
+		a.EndList(cur)
+	}
+	a.EndPass(p)
+}
+
+// Estimator is an Algorithm that produces a numeric estimate after its final
+// pass, along with the peak number of machine words of state it used.
+type Estimator interface {
+	Algorithm
+	// Estimate returns the final estimate; valid after Run.
+	Estimate() float64
+	// SpaceWords returns the peak words of state used across all passes.
+	SpaceWords() int64
+}
+
+// Estimate runs e over s and returns its estimate and peak space.
+func Estimate(s *Stream, e Estimator) (est float64, words int64) {
+	Run(s, e)
+	return e.Estimate(), e.SpaceWords()
+}

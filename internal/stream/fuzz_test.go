@@ -1,0 +1,73 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks that the stream parser never panics, and that any
+// input it accepts round-trips through WriteText and re-validates.
+func FuzzReadText(f *testing.F) {
+	f.Add("1 2\n2 1\n")
+	f.Add("1 2\n1 3\n2 1\n2 3\n3 1\n3 2\n")
+	f.Add("# comment\n\n1 2\n2 1\n")
+	f.Add("a b\n")
+	f.Add("1\n")
+	f.Add("9223372036854775807 1\n1 9223372036854775807\n")
+	f.Add("1 2\n3 1\n1 3\n2 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted input must satisfy the model promise and round-trip.
+		if err := Validate(s.Items()); err != nil {
+			t.Fatalf("accepted stream fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if s2.Len() != s.Len() || s2.M() != s.M() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", s2.Len(), s2.M(), s.Len(), s.M())
+		}
+	})
+}
+
+// FuzzReadEdgeList checks the edge-list parser never panics and that every
+// accepted graph is simple (builder invariants hold).
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n")
+	f.Add("1 1\n")
+	f.Add("1 2\n2 1\n1 2\n")
+	f.Add("# c\n\n-5 7\n")
+	f.Add("x y\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var m int64
+		for _, v := range g.Vertices() {
+			for _, u := range g.Neighbors(v) {
+				if u == v {
+					t.Fatal("self-loop in parsed graph")
+				}
+				if !g.HasEdge(u, v) {
+					t.Fatal("asymmetric adjacency")
+				}
+				if v < u {
+					m++
+				}
+			}
+		}
+		if m != g.M() {
+			t.Fatalf("edge count mismatch: %d vs %d", m, g.M())
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package stream
+
+import (
+	"adjstream/internal/graph"
+	"adjstream/internal/stats"
+)
+
+// MedianEstimator runs several independent copies of an estimator in
+// parallel over the same passes and reports the median of their estimates —
+// the standard amplification from constant success probability to 1-δ used
+// by Theorems 3.7 and 4.6. Its space is the sum of the copies' spaces.
+type MedianEstimator struct {
+	copies []Estimator
+}
+
+// NewMedian wraps the given copies. All copies must use the same number of
+// passes; NewMedian panics otherwise (a programming error, not input error).
+func NewMedian(copies ...Estimator) *MedianEstimator {
+	if len(copies) == 0 {
+		panic("stream: NewMedian needs at least one copy")
+	}
+	p := copies[0].Passes()
+	for _, c := range copies[1:] {
+		if c.Passes() != p {
+			panic("stream: NewMedian copies disagree on pass count")
+		}
+	}
+	return &MedianEstimator{copies: copies}
+}
+
+// Passes implements Algorithm.
+func (m *MedianEstimator) Passes() int { return m.copies[0].Passes() }
+
+// StartPass implements Algorithm.
+func (m *MedianEstimator) StartPass(p int) {
+	for _, c := range m.copies {
+		c.StartPass(p)
+	}
+}
+
+// StartList implements Algorithm.
+func (m *MedianEstimator) StartList(v graph.V) {
+	for _, c := range m.copies {
+		c.StartList(v)
+	}
+}
+
+// Edge implements Algorithm.
+func (m *MedianEstimator) Edge(o, n graph.V) {
+	for _, c := range m.copies {
+		c.Edge(o, n)
+	}
+}
+
+// EndList implements Algorithm.
+func (m *MedianEstimator) EndList(v graph.V) {
+	for _, c := range m.copies {
+		c.EndList(v)
+	}
+}
+
+// EndPass implements Algorithm.
+func (m *MedianEstimator) EndPass(p int) {
+	for _, c := range m.copies {
+		c.EndPass(p)
+	}
+}
+
+// Estimate returns the median of the copies' estimates.
+func (m *MedianEstimator) Estimate() float64 {
+	xs := make([]float64, len(m.copies))
+	for i, c := range m.copies {
+		xs[i] = c.Estimate()
+	}
+	return stats.Median(xs)
+}
+
+// SpaceWords returns the total peak space across copies.
+func (m *MedianEstimator) SpaceWords() int64 {
+	var s int64
+	for _, c := range m.copies {
+		s += c.SpaceWords()
+	}
+	return s
+}

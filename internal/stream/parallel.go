@@ -1,0 +1,40 @@
+package stream
+
+import (
+	"runtime"
+	"sync"
+
+	"adjstream/internal/stats"
+)
+
+// RunParallel drives each estimator over s concurrently (each copy performs
+// its own passes; copies are independent, so results are identical to
+// sequential Run calls). Concurrency is bounded by GOMAXPROCS.
+func RunParallel(s *Stream, ests []Estimator) {
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, e := range ests {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(e Estimator) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			Run(s, e)
+		}(e)
+	}
+	wg.Wait()
+}
+
+// MedianParallel runs the copies concurrently over s and returns the median
+// estimate and the summed peak space — the parallel counterpart of driving
+// a MedianEstimator with Run.
+func MedianParallel(s *Stream, copies []Estimator) (estimate float64, spaceWords int64) {
+	RunParallel(s, copies)
+	xs := make([]float64, len(copies))
+	var sp int64
+	for i, c := range copies {
+		xs[i] = c.Estimate()
+		sp += c.SpaceWords()
+	}
+	return stats.Median(xs), sp
+}

@@ -1,0 +1,236 @@
+// Package stream implements the adjacency list streaming model of the paper:
+// the input graph arrives as a sequence of ordered pairs (owner, neighbor);
+// every edge {u,v} appears exactly twice, once in each endpoint's adjacency
+// list; and all pairs sharing an owner are contiguous. Within a list, and
+// across lists, the order is arbitrary (adversarial) unless a random order
+// is requested explicitly.
+//
+// The package provides stream construction from a graph under controllable
+// orders, validation of the model's promise, a multi-pass driver with
+// item-at-a-time callbacks, and a text serialization.
+package stream
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"adjstream/internal/graph"
+)
+
+// Item is one stream element: Nbr appears in Owner's adjacency list.
+type Item struct {
+	Owner, Nbr graph.V
+}
+
+// Stream is a finite adjacency-list stream. Construct with FromGraph,
+// FromItems, or the order helpers; a Stream is immutable and safe for
+// concurrent replay.
+type Stream struct {
+	items []Item
+	lists int   // number of adjacency lists
+	m     int64 // number of distinct edges (= len(items)/2)
+}
+
+// Items returns the underlying item sequence. The slice is shared with the
+// stream and must not be modified.
+func (s *Stream) Items() []Item { return s.items }
+
+// Len returns the number of items (2m).
+func (s *Stream) Len() int { return len(s.items) }
+
+// M returns the number of distinct edges.
+func (s *Stream) M() int64 { return s.m }
+
+// Lists returns the number of adjacency lists (vertices with degree ≥ 1,
+// plus explicitly included isolated vertices never appear: a vertex with an
+// empty list contributes no items).
+func (s *Stream) Lists() int { return s.lists }
+
+// ListOrder returns the owners in arrival order.
+func (s *Stream) ListOrder() []graph.V {
+	out := make([]graph.V, 0, s.lists)
+	var cur graph.V
+	first := true
+	for _, it := range s.items {
+		if first || it.Owner != cur {
+			out = append(out, it.Owner)
+			cur = it.Owner
+			first = false
+		}
+	}
+	return out
+}
+
+// Validate checks the adjacency-list promise on items: owners are
+// contiguous, no list repeats, no self-loops, no duplicate items, and every
+// edge appears exactly once in each endpoint's list.
+func Validate(items []Item) error {
+	seenList := make(map[graph.V]bool)
+	count := make(map[graph.Edge]int)
+	seenItem := make(map[Item]bool, len(items))
+	var cur graph.V
+	inList := false
+	for i, it := range items {
+		if it.Owner == it.Nbr {
+			return fmt.Errorf("stream: item %d is a self-loop at %d", i, it.Owner)
+		}
+		if !inList || it.Owner != cur {
+			if seenList[it.Owner] {
+				return fmt.Errorf("stream: adjacency list of %d is not contiguous (reopened at item %d)", it.Owner, i)
+			}
+			seenList[it.Owner] = true
+			cur = it.Owner
+			inList = true
+		}
+		if seenItem[it] {
+			return fmt.Errorf("stream: duplicate item (%d,%d) at index %d", it.Owner, it.Nbr, i)
+		}
+		seenItem[it] = true
+		count[graph.Edge{U: it.Owner, V: it.Nbr}.Norm()]++
+	}
+	for e, c := range count {
+		if c != 2 {
+			return fmt.Errorf("stream: edge %v appears %d times, want 2", e, c)
+		}
+	}
+	return nil
+}
+
+// FromItems wraps items into a Stream after validating the model promise.
+func FromItems(items []Item) (*Stream, error) {
+	if err := Validate(items); err != nil {
+		return nil, err
+	}
+	s := &Stream{items: items, m: int64(len(items)) / 2}
+	var cur graph.V
+	first := true
+	for _, it := range items {
+		if first || it.Owner != cur {
+			s.lists++
+			cur = it.Owner
+			first = false
+		}
+	}
+	return s, nil
+}
+
+// FromGraph builds a stream from g with the given adjacency-list arrival
+// order. listOrder must contain every vertex of g with degree ≥ 1 exactly
+// once (isolated vertices are permitted and skipped). Within each list,
+// neighbors appear in sorted order; use Shuffle* helpers for random orders.
+func FromGraph(g *graph.Graph, listOrder []graph.V) (*Stream, error) {
+	seen := make(map[graph.V]bool, len(listOrder))
+	items := make([]Item, 0, 2*g.M())
+	lists := 0
+	for _, v := range listOrder {
+		if seen[v] {
+			return nil, fmt.Errorf("stream: vertex %d repeated in list order", v)
+		}
+		seen[v] = true
+		if !g.HasVertex(v) {
+			return nil, fmt.Errorf("stream: vertex %d not in graph", v)
+		}
+		ns := g.Neighbors(v)
+		if len(ns) == 0 {
+			continue
+		}
+		lists++
+		for _, u := range ns {
+			items = append(items, Item{Owner: v, Nbr: u})
+		}
+	}
+	for _, v := range g.Vertices() {
+		if g.Degree(v) > 0 && !seen[v] {
+			return nil, fmt.Errorf("stream: vertex %d missing from list order", v)
+		}
+	}
+	return &Stream{items: items, lists: lists, m: g.M()}, nil
+}
+
+// Sorted returns the stream with lists in ascending vertex order and sorted
+// neighbors — the canonical deterministic order.
+func Sorted(g *graph.Graph) *Stream {
+	s, err := FromGraph(g, g.Vertices())
+	if err != nil {
+		// Vertices() satisfies FromGraph's contract by construction.
+		panic(err)
+	}
+	return s
+}
+
+// SortedDesc returns the stream with lists in ascending vertex order but
+// neighbors within each list in descending order. Together with Sorted it
+// brackets the within-list order sensitivity of order-dependent estimators
+// (experiment M2): ascending neighbor order tends to present an edge's
+// second appearance before wedge-forming items, descending after.
+func SortedDesc(g *graph.Graph) *Stream {
+	s := Sorted(g)
+	items := make([]Item, len(s.items))
+	copy(items, s.items)
+	i := 0
+	for i < len(items) {
+		j := i
+		for j < len(items) && items[j].Owner == items[i].Owner {
+			j++
+		}
+		for a, b := i, j-1; a < b; a, b = a+1, b-1 {
+			items[a], items[b] = items[b], items[a]
+		}
+		i = j
+	}
+	return &Stream{items: items, lists: s.lists, m: s.m}
+}
+
+// Random returns a stream with a uniformly random list arrival order and
+// uniformly random order within each list, driven by seed.
+func Random(g *graph.Graph, seed uint64) *Stream {
+	rng := rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+	order := make([]graph.V, len(g.Vertices()))
+	copy(order, g.Vertices())
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	s, err := FromGraph(g, order)
+	if err != nil {
+		panic(err)
+	}
+	shuffleWithinLists(s, rng)
+	return s
+}
+
+// WithOrder returns a stream with the given list order and a seeded shuffle
+// within each list.
+func WithOrder(g *graph.Graph, listOrder []graph.V, seed uint64) (*Stream, error) {
+	s, err := FromGraph(g, listOrder)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xa0761d6478bd642f))
+	shuffleWithinLists(s, rng)
+	return s, nil
+}
+
+func shuffleWithinLists(s *Stream, rng *rand.Rand) {
+	i := 0
+	for i < len(s.items) {
+		j := i
+		for j < len(s.items) && s.items[j].Owner == s.items[i].Owner {
+			j++
+		}
+		seg := s.items[i:j]
+		rng.Shuffle(len(seg), func(a, b int) { seg[a], seg[b] = seg[b], seg[a] })
+		i = j
+	}
+}
+
+// Graph reconstructs the underlying graph from the stream. Useful for
+// cross-checking streams read from files.
+func (s *Stream) Graph() (*graph.Graph, error) {
+	b := graph.NewBuilder()
+	for _, it := range s.items {
+		if it.Owner < it.Nbr {
+			if err := b.Add(it.Owner, it.Nbr); err != nil {
+				return nil, fmt.Errorf("stream: %w", err)
+			}
+		}
+	}
+	return b.Graph(), nil
+}
