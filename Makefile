@@ -1,0 +1,30 @@
+# Development targets. CI (.github/workflows/ci.yml) runs the same commands.
+
+GO ?= go
+
+.PHONY: build test race vet bench bench-smoke cover all
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/stream/... ./internal/core/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches bit-rot without the wait.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1

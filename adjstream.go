@@ -60,6 +60,10 @@ type (
 	Item = stream.Item
 	// Estimator is a multi-pass streaming estimator.
 	Estimator = stream.Estimator
+	// DriverStats reports the stream-traversal counters of a parallel run
+	// (stream items read, items delivered to copies, batches, peak queue
+	// depth).
+	DriverStats = stream.DriverStats
 )
 
 // NewBuilder returns an empty graph builder.
@@ -108,6 +112,21 @@ func ReadStreamFile(path string) (*Stream, error) {
 	defer f.Close()
 	return ReadStream(f)
 }
+
+// Driver selects how parallel median copies are executed over the stream.
+type Driver string
+
+// The available execution drivers for Parallel runs.
+const (
+	// DriverBroadcast reads the stream once per pass and fans items out to
+	// all copies through batched channels (the default): O(passes · 2m)
+	// stream-item reads regardless of the copy count.
+	DriverBroadcast Driver = "broadcast"
+	// DriverReplay replays the full stream once per copy per pass (the
+	// pre-broadcast behavior, kept for A/B benchmarking):
+	// O(copies · passes · 2m) stream-item reads.
+	DriverReplay Driver = "replay"
+)
 
 // Algorithm selects an estimator.
 type Algorithm string
@@ -174,6 +193,11 @@ type Options struct {
 	// Parallel runs median copies concurrently (bounded by GOMAXPROCS).
 	// Results are identical to the sequential run; only wall time changes.
 	Parallel bool
+	// Driver selects the parallel execution driver: DriverBroadcast
+	// (default — one stream read per pass shared by all copies) or
+	// DriverReplay (one stream read per copy per pass). Only meaningful
+	// with Parallel and more than one copy.
+	Driver Driver
 	// Seed drives all randomness deterministically.
 	Seed uint64
 }
@@ -191,6 +215,13 @@ type Result struct {
 	M int64
 	// Copies is the number of independent copies actually run.
 	Copies int
+	// Driver is the execution driver that produced this result
+	// (DriverBroadcast or DriverReplay for parallel runs, "" for
+	// sequential ones).
+	Driver Driver
+	// DriverStats holds the stream-traversal counters of a parallel
+	// broadcast run (zero value for replay and sequential runs).
+	DriverStats DriverStats
 }
 
 func (o Options) copies() (int, error) {
@@ -362,13 +393,28 @@ func Estimate(s *Stream, opts Options) (Result, error) {
 			}
 			copies[i] = e
 		}
-		est, sp := stream.MedianParallel(s, copies)
+		var est float64
+		var sp int64
+		var st DriverStats
+		driver := opts.Driver
+		switch driver {
+		case DriverReplay:
+			est, sp = stream.MedianReplay(s, copies)
+			st = stream.ReplayStats(s, copies)
+		case DriverBroadcast, "":
+			driver = DriverBroadcast
+			est, sp, st = stream.MedianBroadcast(s, copies)
+		default:
+			return Result{}, fmt.Errorf("adjstream: unknown driver %q", opts.Driver)
+		}
 		return Result{
-			Estimate:   est,
-			SpaceWords: sp,
-			Passes:     copies[0].Passes(),
-			M:          s.M(),
-			Copies:     c,
+			Estimate:    est,
+			SpaceWords:  sp,
+			Passes:      copies[0].Passes(),
+			M:           s.M(),
+			Copies:      c,
+			Driver:      driver,
+			DriverStats: st,
 		}, nil
 	}
 	e, err := NewEstimator(opts)

@@ -37,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cycleLen := fs.Int("len", 3, "cycle length for -algo exact")
 	copies := fs.Int("copies", 1, "independent copies, median-combined")
 	parallel := fs.Bool("parallel", false, "run copies concurrently")
+	driver := fs.String("driver", "broadcast", "parallel execution driver: broadcast (single stream read per pass) or replay (one read per copy)")
 	seed := fs.Uint64("seed", 1, "seed for all randomness")
 	order := fs.String("order", "sorted", "stream order for edge-list input: sorted or random")
 	isStream := fs.Bool("stream", false, "input is an adjacency-list stream file, not an edge list")
@@ -68,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CycleLen:   *cycleLen,
 		Copies:     *copies,
 		Parallel:   *parallel,
+		Driver:     adjstream.Driver(*driver),
 		Seed:       *seed,
 	})
 	if err != nil {
@@ -80,6 +82,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "copies:      %d\n", res.Copies)
 	fmt.Fprintf(stdout, "space:       %d words\n", res.SpaceWords)
 	fmt.Fprintf(stdout, "estimate:    %.2f\n", res.Estimate)
+	if res.Driver != "" {
+		fmt.Fprintf(stdout, "driver:      %s\n", res.Driver)
+	}
+	if res.Driver == adjstream.DriverBroadcast {
+		fmt.Fprintf(stdout, "stream reads: %d items (replay would read %d)\n",
+			res.DriverStats.StreamItemsRead, res.DriverStats.ItemsDelivered)
+	}
 	return 0
 }
 

@@ -30,7 +30,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "markdown", "output format: markdown or csv")
 	out := fs.String("out", "", "output file (default stdout)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	driver := fs.String("driver", "broadcast", "multi-copy execution driver: broadcast or replay")
+	driverStats := fs.Bool("driverstats", false, "append the driver-counter table (stream reads, batches, queue depth) after the experiments")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := exp.SetDriver(*driver); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
 		return 2
 	}
 
@@ -54,6 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *driverStats {
+		tables = append(tables, exp.DriverReport())
 	}
 	for _, t := range tables {
 		switch *format {

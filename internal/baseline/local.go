@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"sort"
+
 	"adjstream/internal/graph"
 	"adjstream/internal/sampling"
 	"adjstream/internal/space"
@@ -136,9 +138,17 @@ func (l *LocalTriangles) Counts() map[graph.V]float64 { return l.counts }
 
 // Estimate returns the implied global triangle count Σ local / 3.
 func (l *LocalTriangles) Estimate() float64 {
+	// Sum in sorted vertex order: map iteration order is randomized, and
+	// a fixed summation order keeps the estimate bit-deterministic across
+	// runs and execution drivers.
+	vs := make([]graph.V, 0, len(l.counts))
+	for v := range l.counts {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
 	var s float64
-	for _, c := range l.counts {
-		s += c
+	for _, v := range vs {
+		s += l.counts[v]
 	}
 	return s / 3
 }

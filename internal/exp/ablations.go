@@ -30,20 +30,24 @@ func AblationLightestEdge(seed uint64) (*Table, error) {
 		truth := float64(g.Triangles())
 		s := stream.Random(g, seed)
 		const p = 0.15
-		var naive, smart stats.Running
-		for i := 0; i < 120; i++ {
+		const trials = 120
+		ests := make([]stream.Estimator, 0, 2*trials)
+		for i := 0; i < trials; i++ {
 			n, err := core.NewNaiveTwoPass(core.TriangleConfig{SampleProb: p, Seed: seed + uint64(i)*3 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, n)
-			naive.Add(n.Estimate() - truth)
 			l, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: p, PairCap: 1 << 20, Seed: seed + uint64(i)*3 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, l)
-			smart.Add(l.Estimate() - truth)
+			ests = append(ests, n, l)
+		}
+		runCopies(s, ests)
+		var naive, smart stats.Running
+		for i := 0; i < trials; i++ {
+			naive.Add(ests[2*i].Estimate() - truth)
+			smart.Add(ests[2*i+1].Estimate() - truth)
 		}
 		rmse := func(r stats.Running) float64 {
 			return math.Sqrt(r.Variance()+r.Mean()*r.Mean()) / truth
@@ -82,20 +86,24 @@ func AblationHvsExact(seed uint64) (*Table, error) {
 		truth := float64(g.Triangles())
 		s := stream.Random(g, seed)
 		const p = 0.2
-		var e2, e3 []float64
-		for i := 0; i < 40; i++ {
+		const trials = 40
+		ests := make([]stream.Estimator, 0, 2*trials)
+		for i := 0; i < trials; i++ {
 			two, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: p, PairCap: 1 << 20, Seed: seed + uint64(i)*5 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, two)
-			e2 = append(e2, relErr(two.Estimate(), truth))
 			three, err := core.NewThreePassTriangle(core.TriangleConfig{SampleProb: p, Seed: seed + uint64(i)*5 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, three)
-			e3 = append(e3, relErr(three.Estimate(), truth))
+			ests = append(ests, two, three)
+		}
+		runCopies(s, ests)
+		var e2, e3 []float64
+		for i := 0; i < trials; i++ {
+			e2 = append(e2, relErr(ests[2*i].Estimate(), truth))
+			e3 = append(e3, relErr(ests[2*i+1].Estimate(), truth))
 		}
 		t.Rows = append(t.Rows, []string{w.name, d(g.Triangles()), f2(p), f3(median(e2)), f3(median(e3))})
 	}
@@ -154,20 +162,24 @@ func AblationSamplerKind(seed uint64) (*Table, error) {
 		s := stream.Random(g, seed)
 		b := budget(8, g.M(), float64(T), 2.0/3.0, 8)
 		p := float64(b) / float64(g.M())
-		var ek, ep []float64
-		for i := 0; i < 30; i++ {
+		const trials = 30
+		ests := make([]stream.Estimator, 0, 2*trials)
+		for i := 0; i < trials; i++ {
 			bk, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleSize: b, PairCap: b, Seed: seed + uint64(i)*11 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, bk)
-			ek = append(ek, relErr(bk.Estimate(), float64(T)))
 			fp, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: p, PairCap: b, Seed: seed + uint64(i)*11 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, fp)
-			ep = append(ep, relErr(fp.Estimate(), float64(T)))
+			ests = append(ests, bk, fp)
+		}
+		runCopies(s, ests)
+		var ek, ep []float64
+		for i := 0; i < trials; i++ {
+			ek = append(ek, relErr(ests[2*i].Estimate(), float64(T)))
+			ep = append(ep, relErr(ests[2*i+1].Estimate(), float64(T)))
 		}
 		t.Rows = append(t.Rows, []string{d(int64(T)), d(g.M()), d(int64(b)), f3(median(ek)), f3(median(ep))})
 	}

@@ -26,20 +26,26 @@ func AdaptiveVsOracle(seed uint64) (*Table, error) {
 		var oErrs, aErrs []float64
 		var finalSum int64
 		const trials = 25
+		oracles := make([]stream.Estimator, trials)
+		adaptives := make([]*core.AdaptiveTwoPassTriangle, trials)
+		ests := make([]stream.Estimator, 0, 2*trials)
 		for i := 0; i < trials; i++ {
 			o, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleSize: oracleBudget, PairCap: 8 * oracleBudget, Seed: seed + uint64(i)*7 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, o)
-			oErrs = append(oErrs, relErr(o.Estimate(), float64(T)))
 			a, err := core.NewAdaptiveTwoPassTriangle(core.AdaptiveConfig{InitialSample: int(g.M()), Seed: seed + uint64(i)*7 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, a)
-			aErrs = append(aErrs, relErr(a.Estimate(), float64(T)))
-			finalSum += int64(a.FinalSample())
+			oracles[i], adaptives[i] = o, a
+			ests = append(ests, o, a)
+		}
+		runCopies(s, ests)
+		for i := 0; i < trials; i++ {
+			oErrs = append(oErrs, relErr(oracles[i].Estimate(), float64(T)))
+			aErrs = append(aErrs, relErr(adaptives[i].Estimate(), float64(T)))
+			finalSum += int64(adaptives[i].FinalSample())
 		}
 		t.Rows = append(t.Rows, []string{
 			d(int64(T)), d(g.M()), d(int64(oracleBudget)), d(finalSum / trials),

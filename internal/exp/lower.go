@@ -117,26 +117,36 @@ func Table1Row8LowerBound3Disj(seed uint64) (*Table, error) {
 		b := budget(4, yes.G.M(), float64(yes.Want), 2.0/3.0, 8)
 		ok := 0
 		const trials = 30
+		// Gadget streams are deterministic, so all trials share one yes
+		// stream and one no stream: two broadcast fan-outs.
+		sy, err := yes.Stream()
+		if err != nil {
+			return nil, err
+		}
+		sn, err := no.Stream()
+		if err != nil {
+			return nil, err
+		}
+		dys := make([]*core.NaiveTwoPass, trials)
+		dns := make([]*core.NaiveTwoPass, trials)
+		yesEsts := make([]stream.Estimator, trials)
+		noEsts := make([]stream.Estimator, trials)
 		for i := 0; i < trials; i++ {
 			dy, err := core.NewNaiveTwoPass(core.TriangleConfig{SampleSize: b, Seed: seed + uint64(i)*7})
 			if err != nil {
 				return nil, err
 			}
-			sy, err := yes.Stream()
-			if err != nil {
-				return nil, err
-			}
-			stream.Run(sy, dy)
 			dn, err := core.NewNaiveTwoPass(core.TriangleConfig{SampleSize: b, Seed: seed + uint64(i)*7})
 			if err != nil {
 				return nil, err
 			}
-			sn, err := no.Stream()
-			if err != nil {
-				return nil, err
-			}
-			stream.Run(sn, dn)
-			if dy.Detected() && !dn.Detected() {
+			dys[i], dns[i] = dy, dn
+			yesEsts[i], noEsts[i] = dy, dn
+		}
+		runCopies(sy, yesEsts)
+		runCopies(sn, noEsts)
+		for i := 0; i < trials; i++ {
+			if dys[i].Detected() && !dns[i].Detected() {
 				ok++
 			}
 		}
@@ -199,12 +209,18 @@ func Table1Row10LowerBoundIndex(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		straws := make([]*baseline.OnePassFourCycle, trials)
+		strawEsts := make([]stream.Estimator, trials)
 		for i := 0; i < trials; i++ {
 			straw, err := baseline.NewOnePassFourCycle(baseline.Config{SampleSize: int(yes.G.M() / 4), Seed: seed + uint64(i)*9 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(sy, straw)
+			straws[i] = straw
+			strawEsts[i] = straw
+		}
+		runCopies(sy, strawEsts)
+		for _, straw := range straws {
 			if straw.Detected() {
 				detects++
 			}
@@ -262,18 +278,23 @@ func Table1Row11LowerBoundDisj(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		fys := make([]stream.Estimator, trials)
+		fns := make([]stream.Estimator, trials)
 		for i := 0; i < trials; i++ {
 			fy, err := core.NewTwoPassFourCycle(core.FourCycleConfig{SampleSize: b, Seed: seed + uint64(i)*13})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(sy, fy)
 			fn, err := core.NewTwoPassFourCycle(core.FourCycleConfig{SampleSize: b, Seed: seed + uint64(i)*13})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(sn, fn)
-			if fy.Estimate() > 0 && fn.Estimate() == 0 {
+			fys[i], fns[i] = fy, fn
+		}
+		runCopies(sy, fys)
+		runCopies(sn, fns)
+		for i := 0; i < trials; i++ {
+			if fys[i].Estimate() > 0 && fns[i].Estimate() == 0 {
 				ok++
 			}
 		}

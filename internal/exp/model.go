@@ -99,7 +99,7 @@ func alSpaceAt(s *stream.Stream, b int, seed uint64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	stream.Run(s, alg)
+	runOne(s, alg)
 	return alg.SpaceWords(), nil
 }
 

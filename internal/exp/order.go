@@ -37,24 +37,25 @@ func OrderSensitivity(seed uint64) (*Table, error) {
 	for _, o := range orders {
 		var ws, tp, op float64
 		for i := uint64(0); i < trials; i++ {
+			// The three algorithm classes of a trial share one stream, so
+			// each trial is one broadcast fan-out. (Trials cannot share: the
+			// random rows use a fresh order per trial.)
 			s := o.s(i)
 			w, err := baseline.NewWedgeSampler(baseline.Config{SampleProb: 0.6, WedgeCap: 1 << 20, Seed: seed + i*3 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, w)
-			ws += w.Estimate() / truth
 			two, err := core.NewTwoPassTriangle(core.TriangleConfig{SampleProb: 0.6, PairCap: 1 << 20, Seed: seed + i*3 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, two)
-			tp += two.Estimate() / truth
 			one, err := baseline.NewOnePassTriangle(baseline.Config{SampleProb: 0.6, Seed: seed + i*3 + 1})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, one)
+			runCopies(s, []stream.Estimator{w, two, one})
+			ws += w.Estimate() / truth
+			tp += two.Estimate() / truth
 			op += one.Estimate() / truth
 		}
 		t.Rows = append(t.Rows, []string{o.name, f3(ws / trials), f3(tp / trials), f3(op / trials)})

@@ -95,7 +95,9 @@ func Table1Row1WedgeSampler(seed uint64) (*Table, error) {
 			p = 1
 		}
 		// Average over random orders too: the estimator's guarantee is for
-		// the random-order model.
+		// the random-order model. Each trial has its own stream order, so
+		// there is nothing for the broadcast driver to share here; the runs
+		// stay sequential but counted.
 		var errs []float64
 		var spaceSum float64
 		for i := 0; i < triangleTrials; i++ {
@@ -103,7 +105,7 @@ func Table1Row1WedgeSampler(seed uint64) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(stream.Random(g, seed+uint64(i)), alg)
+			runOne(stream.Random(g, seed+uint64(i)), alg)
 			errs = append(errs, relErr(alg.Estimate(), float64(T)))
 			spaceSum += float64(alg.SpaceWords())
 		}
@@ -231,22 +233,32 @@ func Table1Row5Distinguisher(seed uint64) (*Table, error) {
 		b := budget(4, g.M(), float64(T), 2.0/3.0, 8)
 		sYes := stream.Random(g, seed)
 		sNo := stream.Random(g0, seed)
-		detect, falsePos := 0, 0
+		// All yes-trials share sYes and all no-trials share sNo, so each
+		// group is one broadcast fan-out.
+		dys := make([]*core.NaiveTwoPass, trials)
+		dns := make([]*core.NaiveTwoPass, trials)
+		yesEsts := make([]stream.Estimator, trials)
+		noEsts := make([]stream.Estimator, trials)
 		for i := 0; i < trials; i++ {
 			dy, err := core.NewNaiveTwoPass(core.TriangleConfig{SampleSize: b, Seed: seed + uint64(i)*17})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(sYes, dy)
-			if dy.Detected() {
-				detect++
-			}
 			dn, err := core.NewNaiveTwoPass(core.TriangleConfig{SampleSize: b, Seed: seed + uint64(i)*17})
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(sNo, dn)
-			if dn.Detected() {
+			dys[i], dns[i] = dy, dn
+			yesEsts[i], noEsts[i] = dy, dn
+		}
+		runCopies(sYes, yesEsts)
+		runCopies(sNo, noEsts)
+		detect, falsePos := 0, 0
+		for i := 0; i < trials; i++ {
+			if dys[i].Detected() {
+				detect++
+			}
+			if dns[i].Detected() {
 				falsePos++
 			}
 		}
@@ -306,6 +318,7 @@ func Table1Row9TwoPassFourCycle(seed uint64) (*Table, error) {
 		var errs, ratios []float64
 		var spaceSum float64
 		const trials = 15
+		ests := make([]stream.Estimator, trials)
 		for i := 0; i < trials; i++ {
 			// WedgeCap keeps |Q| = O(m′), the paper's stated space; the
 			// dilution correction keeps the estimator centered.
@@ -313,7 +326,10 @@ func Table1Row9TwoPassFourCycle(seed uint64) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			stream.Run(s, alg)
+			ests[i] = alg
+		}
+		runCopies(s, ests)
+		for _, alg := range ests {
 			errs = append(errs, relErr(alg.Estimate(), float64(T)))
 			r := alg.Estimate() / float64(T)
 			if r < 1 && r > 0 {

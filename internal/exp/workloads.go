@@ -156,17 +156,22 @@ func addBipartiteNoise(b *graph.Builder, base graph.V, extra int, seed uint64) (
 	return b.Graph(), nil
 }
 
-// trialStats runs trials independent estimator instances over s and reports
-// the median relative error against truth and the mean peak space in words.
+// trialStats runs trials independent estimator instances over s — all
+// copies share one broadcast traversal per pass — and reports the median
+// relative error against truth and the mean peak space in words.
 func trialStats(s *stream.Stream, truth float64, trials int, mk func(seed uint64) (stream.Estimator, error)) (medErr, meanSpace float64, err error) {
-	var errs []float64
-	var sp stats.Running
-	for i := 0; i < trials; i++ {
+	ests := make([]stream.Estimator, trials)
+	for i := range ests {
 		e, err := mk(uint64(i)*0x9e37 + 11)
 		if err != nil {
 			return 0, 0, err
 		}
-		stream.Run(s, e)
+		ests[i] = e
+	}
+	runCopies(s, ests)
+	var errs []float64
+	var sp stats.Running
+	for _, e := range ests {
 		errs = append(errs, stats.RelErr(e.Estimate(), truth))
 		sp.Add(float64(e.SpaceWords()))
 	}
@@ -205,13 +210,17 @@ func requiredBudget(s *stream.Stream, truth float64, m int64, trials int, target
 		if int64(b) > m {
 			b = int(m)
 		}
-		var errs []float64
-		for i := 0; i < trials; i++ {
+		ests := make([]stream.Estimator, trials)
+		for i := range ests {
 			e, err := mk(b, uint64(i)*0x51ed+271)
 			if err != nil {
 				return 0, err
 			}
-			stream.Run(s, e)
+			ests[i] = e
+		}
+		runCopies(s, ests)
+		var errs []float64
+		for _, e := range ests {
 			errs = append(errs, stats.RelErr(e.Estimate(), truth))
 		}
 		if stats.Quantile(errs, 0.7) <= target || int64(b) >= m {

@@ -1,0 +1,238 @@
+package stream
+
+import (
+	"runtime"
+	"sync"
+
+	"adjstream/internal/graph"
+	"adjstream/internal/stats"
+)
+
+// The paper's estimators are median-of-k independent copies over the same
+// adjacency-list stream (Theorems 3.7 and 4.6). Replaying the stream once
+// per copy costs O(k · passes · 2m) stream-item reads for what is logically
+// O(passes · 2m): every copy sees the identical item sequence. RunBroadcast
+// is the shared-traversal driver: each pass reads the stream once and fans
+// the items out to all copies through batched channels feeding a bounded
+// worker pool. Per-copy semantics are exactly those of sequential Run —
+// same item order, same list boundaries, independent per-copy state — so
+// deterministic (fixed-seed) estimators produce bit-identical estimates.
+
+// DefaultBatchSize is the number of items per fan-out batch when
+// BroadcastConfig.BatchSize is zero. Batches are subslices of the immutable
+// stream, so the cost of a batch is one channel send, not a copy; ~1024
+// items amortizes channel synchronization without hurting cache locality.
+const DefaultBatchSize = 1024
+
+// DefaultQueueDepth is the per-worker channel capacity (in batches) when
+// BroadcastConfig.QueueDepth is zero. It bounds how far the producer can
+// run ahead of the slowest worker.
+const DefaultQueueDepth = 8
+
+// BroadcastConfig tunes RunBroadcastConfig. The zero value selects the
+// defaults and is what RunBroadcast uses.
+type BroadcastConfig struct {
+	// BatchSize is the number of stream items per fan-out batch
+	// (default DefaultBatchSize).
+	BatchSize int
+	// Workers bounds the worker-pool size; estimator copies are sharded
+	// contiguously across workers (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is the per-worker buffered-channel capacity in batches
+	// (default DefaultQueueDepth).
+	QueueDepth int
+}
+
+func (c BroadcastConfig) withDefaults() BroadcastConfig {
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	return c
+}
+
+// DriverStats counts the work a driver run performed. The distinction that
+// matters for the broadcast-vs-replay comparison is StreamItemsRead (reads
+// of the underlying stream) versus ItemsDelivered (callback deliveries to
+// estimator copies): replay needs one stream read per delivery, broadcast
+// amortizes one read across all copies of a pass.
+type DriverStats struct {
+	// Copies is the number of estimator copies driven.
+	Copies int
+	// Passes is the maximum pass count across copies (the number of
+	// stream traversals the broadcast driver performs).
+	Passes int
+	// StreamItemsRead counts items read from the underlying stream.
+	StreamItemsRead int64
+	// ItemsDelivered counts items delivered to estimator callbacks,
+	// summed over copies.
+	ItemsDelivered int64
+	// Batches counts producer batch sends, summed over workers.
+	Batches int64
+	// PeakQueueDepth is the largest per-worker queue backlog (in
+	// batches) observed at send time.
+	PeakQueueDepth int
+}
+
+// Merge accumulates other into s (peak depth by max, counters by sum).
+func (s *DriverStats) Merge(other DriverStats) {
+	s.Copies += other.Copies
+	if other.Passes > s.Passes {
+		s.Passes = other.Passes
+	}
+	s.StreamItemsRead += other.StreamItemsRead
+	s.ItemsDelivered += other.ItemsDelivered
+	s.Batches += other.Batches
+	if other.PeakQueueDepth > s.PeakQueueDepth {
+		s.PeakQueueDepth = other.PeakQueueDepth
+	}
+}
+
+// RunBroadcast drives every estimator over s reading the stream once per
+// pass (not once per copy per pass). Results are identical to calling Run
+// on each estimator separately. Copies may disagree on pass count; each
+// copy participates in exactly its own first Passes() passes.
+func RunBroadcast(s *Stream, ests []Estimator) {
+	RunBroadcastConfig(s, ests, BroadcastConfig{})
+}
+
+// RunBroadcastConfig is RunBroadcast with explicit tuning knobs; it returns
+// the driver counters for the run.
+func RunBroadcastConfig(s *Stream, ests []Estimator, cfg BroadcastConfig) DriverStats {
+	cfg = cfg.withDefaults()
+	st := DriverStats{Copies: len(ests)}
+	if len(ests) == 0 {
+		return st
+	}
+	maxPasses := 0
+	for _, e := range ests {
+		if p := e.Passes(); p > maxPasses {
+			maxPasses = p
+		}
+	}
+	st.Passes = maxPasses
+	for p := 0; p < maxPasses; p++ {
+		active := ests[:0:0]
+		for _, e := range ests {
+			if e.Passes() > p {
+				active = append(active, e)
+			}
+		}
+		broadcastPass(s, active, p, cfg, &st)
+	}
+	return st
+}
+
+// broadcastPass performs pass p: one producer reads the stream, a bounded
+// pool of workers (each owning a contiguous shard of the active copies)
+// consumes batches and replays the item-at-a-time callback protocol of
+// runPass for every copy in its shard.
+func broadcastPass(s *Stream, active []Estimator, p int, cfg BroadcastConfig, st *DriverStats) {
+	if len(active) == 0 {
+		return
+	}
+	workers := cfg.Workers
+	if workers > len(active) {
+		workers = len(active)
+	}
+	chans := make([]chan []Item, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Contiguous shards, sizes differing by at most one.
+		lo, hi := shardBounds(len(active), workers, w)
+		ch := make(chan []Item, cfg.QueueDepth)
+		chans[w] = ch
+		wg.Add(1)
+		go func(shard []Estimator, ch <-chan []Item) {
+			defer wg.Done()
+			runShardPass(shard, p, ch)
+		}(active[lo:hi], ch)
+	}
+	items := s.items
+	for i := 0; i < len(items); i += cfg.BatchSize {
+		j := i + cfg.BatchSize
+		if j > len(items) {
+			j = len(items)
+		}
+		batch := items[i:j]
+		for _, ch := range chans {
+			// The producer is the only sender, so len(ch) at send
+			// time is an exact backlog measurement.
+			if d := len(ch); d > st.PeakQueueDepth {
+				st.PeakQueueDepth = d
+			}
+			ch <- batch
+			st.Batches++
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	st.StreamItemsRead += int64(len(items))
+	st.ItemsDelivered += int64(len(items)) * int64(len(active))
+}
+
+// shardBounds splits n copies across k workers into contiguous ranges.
+func shardBounds(n, k, w int) (lo, hi int) {
+	lo = w * n / k
+	hi = (w + 1) * n / k
+	return lo, hi
+}
+
+// runShardPass replays pass p to every estimator in shard from batches.
+// List-boundary detection is done once per batch position and fanned out,
+// mirroring runPass exactly for each copy.
+func runShardPass(shard []Estimator, p int, ch <-chan []Item) {
+	for _, e := range shard {
+		e.StartPass(p)
+	}
+	inList := false
+	var cur graph.V
+	for batch := range ch {
+		for _, it := range batch {
+			if !inList || it.Owner != cur {
+				if inList {
+					for _, e := range shard {
+						e.EndList(cur)
+					}
+				}
+				cur = it.Owner
+				inList = true
+				for _, e := range shard {
+					e.StartList(cur)
+				}
+			}
+			for _, e := range shard {
+				e.Edge(it.Owner, it.Nbr)
+			}
+		}
+	}
+	if inList {
+		for _, e := range shard {
+			e.EndList(cur)
+		}
+	}
+	for _, e := range shard {
+		e.EndPass(p)
+	}
+}
+
+// MedianBroadcast drives the copies with the broadcast driver and returns
+// the median estimate, the summed peak space, and the driver counters —
+// the single-traversal counterpart of MedianParallel's replay mode.
+func MedianBroadcast(s *Stream, copies []Estimator) (estimate float64, spaceWords int64, st DriverStats) {
+	st = RunBroadcastConfig(s, copies, BroadcastConfig{})
+	xs := make([]float64, len(copies))
+	var sp int64
+	for i, c := range copies {
+		xs[i] = c.Estimate()
+		sp += c.SpaceWords()
+	}
+	return stats.Median(xs), sp, st
+}

@@ -1,0 +1,78 @@
+package stream
+
+// Benchmarks comparing the replay and broadcast drivers at k independent
+// copies over the same stream. The quantity at stake is stream-item reads:
+// replay performs k·passes·2m, broadcast passes·2m. Reported metrics:
+//
+//	reads/op — stream items read from the underlying stream per run
+//	read-x   — replay reads divided by broadcast reads (broadcast benches)
+
+import (
+	"strconv"
+	"testing"
+
+	"adjstream/internal/gen"
+)
+
+func benchStream(b *testing.B) *Stream {
+	b.Helper()
+	g, err := gen.ErdosRenyi(500, 0.05, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Random(g, 3)
+}
+
+func benchCopies(k int) []Estimator {
+	ests := make([]Estimator, k)
+	for i := range ests {
+		ests[i] = &sumEstimator{tracer: tracer{passes: 2}}
+	}
+	return ests
+}
+
+func benchmarkReplay(b *testing.B, k int) {
+	s := benchStream(b)
+	b.ResetTimer()
+	var reads int64
+	for i := 0; i < b.N; i++ {
+		ests := benchCopies(k)
+		RunParallel(s, ests)
+		reads += ReplayStats(s, ests).StreamItemsRead
+	}
+	b.ReportMetric(float64(reads)/float64(b.N), "reads/op")
+}
+
+func benchmarkBroadcast(b *testing.B, k int) {
+	s := benchStream(b)
+	b.ResetTimer()
+	var reads, replayReads int64
+	for i := 0; i < b.N; i++ {
+		ests := benchCopies(k)
+		st := RunBroadcastConfig(s, ests, BroadcastConfig{})
+		reads += st.StreamItemsRead
+		replayReads += ReplayStats(s, ests).StreamItemsRead
+	}
+	b.ReportMetric(float64(reads)/float64(b.N), "reads/op")
+	b.ReportMetric(float64(replayReads)/float64(reads), "read-x")
+}
+
+func BenchmarkReplayK8(b *testing.B)      { benchmarkReplay(b, 8) }
+func BenchmarkReplayK32(b *testing.B)     { benchmarkReplay(b, 32) }
+func BenchmarkReplayK128(b *testing.B)    { benchmarkReplay(b, 128) }
+func BenchmarkBroadcastK8(b *testing.B)   { benchmarkBroadcast(b, 8) }
+func BenchmarkBroadcastK32(b *testing.B)  { benchmarkBroadcast(b, 32) }
+func BenchmarkBroadcastK128(b *testing.B) { benchmarkBroadcast(b, 128) }
+
+// BenchmarkBroadcastBatchSize sweeps the batching knob at k = 32.
+func BenchmarkBroadcastBatchSize(b *testing.B) {
+	for _, bs := range []int{64, 256, 1024, 4096} {
+		b.Run(strconv.Itoa(bs), func(b *testing.B) {
+			s := benchStream(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				RunBroadcastConfig(s, benchCopies(32), BroadcastConfig{BatchSize: bs})
+			}
+		})
+	}
+}

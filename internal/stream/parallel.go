@@ -10,6 +10,12 @@ import (
 // RunParallel drives each estimator over s concurrently (each copy performs
 // its own passes; copies are independent, so results are identical to
 // sequential Run calls). Concurrency is bounded by GOMAXPROCS.
+//
+// This is the replay driver: every copy reads the full stream itself, so a
+// run costs Σ passes(e)·Len(s) stream-item reads. RunBroadcast performs the
+// same computation with one stream read per pass shared by all copies;
+// RunParallel is kept as the A/B baseline (see ReplayStats for the
+// counters a replay run would report).
 func RunParallel(s *Stream, ests []Estimator) {
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
@@ -25,10 +31,37 @@ func RunParallel(s *Stream, ests []Estimator) {
 	wg.Wait()
 }
 
+// ReplayStats returns the driver counters of a replay run of ests over s
+// (RunParallel or per-copy Run): each copy reads the stream itself on every
+// one of its passes, and every read is also a delivery. Replay does not
+// batch, so Batches and PeakQueueDepth are zero.
+func ReplayStats(s *Stream, ests []Estimator) DriverStats {
+	st := DriverStats{Copies: len(ests)}
+	for _, e := range ests {
+		p := e.Passes()
+		if p > st.Passes {
+			st.Passes = p
+		}
+		st.StreamItemsRead += int64(p) * int64(s.Len())
+	}
+	st.ItemsDelivered = st.StreamItemsRead
+	return st
+}
+
 // MedianParallel runs the copies concurrently over s and returns the median
 // estimate and the summed peak space — the parallel counterpart of driving
-// a MedianEstimator with Run.
+// a MedianEstimator with Run. Since this PR it uses the broadcast driver
+// (one stream read per pass, fanned out to all copies); MedianReplay keeps
+// the old once-per-copy replay for A/B comparison. Both produce identical
+// estimates for fixed-seed copies.
 func MedianParallel(s *Stream, copies []Estimator) (estimate float64, spaceWords int64) {
+	estimate, spaceWords, _ = MedianBroadcast(s, copies)
+	return estimate, spaceWords
+}
+
+// MedianReplay is MedianParallel on the replay driver: every copy replays
+// the full stream itself (the pre-broadcast behavior).
+func MedianReplay(s *Stream, copies []Estimator) (estimate float64, spaceWords int64) {
 	RunParallel(s, copies)
 	xs := make([]float64, len(copies))
 	var sp int64
