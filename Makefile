@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke cover all
+.PHONY: build test race vet bench bench-smoke bench-json cover all
 
 all: build vet test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/stream/... ./internal/core/...
+	$(GO) test -race ./internal/stream/... ./internal/core/... ./internal/graph/...
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,11 @@ bench:
 # One iteration of every benchmark: catches bit-rot without the wait.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Full benchmark run archived as machine-readable JSON (see cmd/bench2json).
+bench-json:
+	$(GO) test -run=NONE -bench=. -benchmem ./... \
+		| $(GO) run ./cmd/bench2json -out BENCH_$$(date +%Y-%m-%d).json
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

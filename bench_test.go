@@ -454,3 +454,26 @@ func BenchmarkThroughputAdaptive(b *testing.B) {
 		return core.NewAdaptiveTwoPassTriangle(core.AdaptiveConfig{InitialSample: 2048, Seed: seed})
 	})
 }
+
+// BenchmarkGroundTruthCensus measures the full exact ground-truth battery
+// the experiment harness pays per workload grid point: graph generation,
+// CSR index build, and every memoized kernel cold (triangle and 4-cycle
+// counts, edge loads, wedge count, degree moments, motif census). Each
+// iteration builds a fresh graph so memoization never short-circuits.
+func BenchmarkGroundTruthCensus(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := gen.ErdosRenyi(600, 0.05, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Triangles()
+		g.FourCycles()
+		g.WedgeCount()
+		g.MaxTriangleLoad()
+		g.DegreeMoments()
+		if mc := g.Motifs(); mc.Cycle4 != g.FourCycles() {
+			b.Fatal("census mismatch")
+		}
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"adjstream"
@@ -25,6 +27,41 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// startProfiles begins CPU profiling and returns a stop function that ends
+// it and writes a heap profile; empty paths disable the respective profile.
+func startProfiles(cpuPath, memPath string, stderr io.Writer) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -42,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	order := fs.String("order", "sorted", "stream order for edge-list input: sorted or random")
 	isStream := fs.Bool("stream", false, "input is an adjacency-list stream file, not an edge list")
 	compare := fs.Bool("compare", false, "run every algorithm at the given budget and tabulate")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,6 +89,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "cyclecount:", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	s, err := loadStream(fs.Arg(0), *isStream, *order, *seed)
 	if err != nil {

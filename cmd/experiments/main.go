@@ -14,12 +14,49 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"adjstream/internal/exp"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// startProfiles begins CPU profiling and returns a stop function that ends
+// it and writes a heap profile; empty paths disable the respective profile.
+func startProfiles(cpuPath, memPath string, stderr io.Writer) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -32,9 +69,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	driver := fs.String("driver", "broadcast", "multi-copy execution driver: broadcast or replay")
 	driverStats := fs.Bool("driverstats", false, "append the driver-counter table (stream reads, batches, queue depth) after the experiments")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
+	defer stopProfiles()
 	if err := exp.SetDriver(*driver); err != nil {
 		fmt.Fprintln(stderr, "experiments:", err)
 		return 2

@@ -68,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "transitivity:        %.4f\n", g.Transitivity())
 	fmt.Fprintf(stdout, "girth:               %d\n", g.Girth())
 	fmt.Fprintf(stdout, "max triangles/edge:  %d\n", g.MaxTriangleLoad())
+	_, d2, d3 := g.DegreeMoments()
+	fmt.Fprintf(stdout, "Σdeg², Σdeg³:        %d, %d   (heavy-vertex skew behind the space bounds)\n", d2, d3)
 	if t > 0 {
 		m := float64(g.M())
 		tf := float64(t)

@@ -35,8 +35,8 @@ func starredWorkload(T, starDeg int) (*graph.Graph, error) {
 		}
 	}
 	g := b.Graph()
-	if g.Triangles() != int64(T) {
-		return nil, fmt.Errorf("exp: starred workload has %d triangles, want %d", g.Triangles(), T)
+	if got := g.Triangles(); got != int64(T) {
+		return nil, fmt.Errorf("exp: starred workload has %d triangles, want %d", got, T)
 	}
 	return g, nil
 }

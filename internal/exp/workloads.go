@@ -28,8 +28,8 @@ func plantedTriangleWorkload(T int, mTarget int, seed uint64) (*graph.Graph, err
 	if err != nil {
 		return nil, err
 	}
-	if g.Triangles() != int64(T) {
-		return nil, fmt.Errorf("exp: workload has %d triangles, want %d", g.Triangles(), T)
+	if got := g.Triangles(); got != int64(T) {
+		return nil, fmt.Errorf("exp: workload has %d triangles, want %d", got, T)
 	}
 	return g, nil
 }
@@ -64,8 +64,8 @@ func pjHardWorkload(T int, mTarget int, seed uint64) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	if g.Triangles() != int64(T) {
-		return nil, fmt.Errorf("exp: pj workload has %d triangles, want %d", g.Triangles(), T)
+	if got := g.Triangles(); got != int64(T) {
+		return nil, fmt.Errorf("exp: pj workload has %d triangles, want %d", got, T)
 	}
 	return g, nil
 }
@@ -97,8 +97,8 @@ func tripartiteWorkload(T int, mTarget int, seed uint64) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	if g.Triangles() != int64(T) {
-		return nil, fmt.Errorf("exp: tripartite workload has %d triangles, want %d", g.Triangles(), T)
+	if got := g.Triangles(); got != int64(T) {
+		return nil, fmt.Errorf("exp: tripartite workload has %d triangles, want %d", got, T)
 	}
 	return g, nil
 }

@@ -5,17 +5,52 @@ import (
 	"sort"
 )
 
+// localTriangleSlice returns the memoized per-vertex triangle counts
+// indexed by dense CSR id, computed by a sharded pass over the oriented
+// triangle enumeration.
+func (g *Graph) localTriangleSlice() []int64 {
+	g.localTriOnce.Do(func() { g.localTriSlice = g.computeLocalTriangleSlice() })
+	return g.localTriSlice
+}
+
+// computeLocalTriangleSlice is the unmemoized kernel behind
+// localTriangleSlice (and thus LocalTriangles).
+func (g *Graph) computeLocalTriangleSlice() []int64 {
+	c := g.csr()
+	acc := reduceShards(c,
+		func() *[]int64 { s := make([]int64, len(c.verts)); return &s },
+		func(acc *[]int64, v int32) {
+			s := *acc
+			c.triangleScan(v, func(u, w int32, _, _, _ int64) {
+				s[v]++
+				s[u]++
+				s[w]++
+			})
+		},
+		func(dst, src *[]int64) {
+			d := *dst
+			for i, x := range *src {
+				if x != 0 {
+					d[i] += x
+				}
+			}
+		})
+	return *acc
+}
+
 // LocalTriangles returns, for every vertex contained in at least one
 // triangle, the number of triangles through it — the per-vertex counts
 // behind local clustering coefficients (the quantity the paper's intro
-// cites from spam-detection work).
+// cites from spam-detection work). The returned map is a fresh copy built
+// from the memoized dense counts; callers may modify it.
 func (g *Graph) LocalTriangles() map[V]int64 {
+	c := g.csr()
 	out := make(map[V]int64)
-	g.ForEachTriangle(func(t Triangle) {
-		out[t.A]++
-		out[t.B]++
-		out[t.C]++
-	})
+	for v, lt := range g.localTriangleSlice() {
+		if lt != 0 {
+			out[c.verts[v]] = lt
+		}
+	}
 	return out
 }
 

@@ -2,17 +2,21 @@ package graph
 
 import "fmt"
 
+func errCycleLen(l int) error { return fmt.Errorf("graph: cycle length %d < 3", l) }
+
 // CountCycles returns the exact number of simple cycles of length exactly l
-// in g, for l >= 3. It uses canonical DFS enumeration: each cycle is
-// discovered from its minimum vertex and counted once (each undirected cycle
-// is traversed in two directions, so the raw count is halved).
+// in g, for l >= 3. It uses canonical DFS enumeration over the CSR index:
+// each cycle is discovered from its minimum vertex and counted once (each
+// undirected cycle is traversed in two directions, so the raw count is
+// halved). Start vertices are sharded across the kernel worker pool, each
+// worker carrying its own dense on-path bitmap.
 //
 // The running time is output- and degree-sensitive (O(n · Δ^{l-1}) worst
 // case); it is intended as ground truth for gadget graphs and test-scale
 // workloads, not for massive inputs.
 func (g *Graph) CountCycles(l int) (int64, error) {
 	if l < 3 {
-		return 0, fmt.Errorf("graph: cycle length %d < 3", l)
+		return 0, errCycleLen(l)
 	}
 	switch l {
 	case 3:
@@ -20,58 +24,64 @@ func (g *Graph) CountCycles(l int) (int64, error) {
 	case 4:
 		return g.FourCycles(), nil
 	}
-	var count int64
-	onPath := make(map[V]bool, l)
-	var dfs func(start, cur V, depth int)
-	dfs = func(start, cur V, depth int) {
-		if depth == l-1 {
-			// Close the cycle back to start if adjacent.
-			if g.HasEdge(cur, start) {
-				count++
-			}
-			return
-		}
-		for _, nxt := range g.nbr[cur] {
-			if nxt <= start || onPath[nxt] {
-				continue
-			}
-			// Prune: at depth == l-2 the next vertex is the last one; it
-			// must be adjacent to start, which HasEdge checks in the
-			// recursive call — no extra pruning needed beyond the canonical
-			// "all internal vertices > start" rule.
-			onPath[nxt] = true
-			dfs(start, nxt, depth+1)
-			delete(onPath, nxt)
-		}
+	c := g.csr()
+	type acc struct {
+		count  int64
+		onPath []bool
 	}
-	for _, s := range g.vs {
-		onPath[s] = true
-		dfs(s, s, 0)
-		delete(onPath, s)
+	a := reduceShards(c,
+		func() *acc { return &acc{onPath: make([]bool, len(c.verts))} },
+		func(ac *acc, s int32) {
+			ac.onPath[s] = true
+			c.cycleDFS(s, s, 0, l, ac.onPath, &ac.count)
+			ac.onPath[s] = false
+		},
+		func(dst, src *acc) { dst.count += src.count })
+	return a.count / 2, nil
+}
+
+// cycleDFS extends a canonical path (all internal vertices > start, in
+// dense order, which coincides with vertex-name order) and closes it back
+// to start at depth l-1.
+func (c *csr) cycleDFS(start, cur int32, depth, l int, onPath []bool, count *int64) {
+	if depth == l-1 {
+		if c.hasArc(cur, start) {
+			*count++
+		}
+		return
 	}
-	return count / 2, nil
+	for _, nxt := range c.row(cur) {
+		if nxt <= start || onPath[nxt] {
+			continue
+		}
+		onPath[nxt] = true
+		c.cycleDFS(start, nxt, depth+1, l, onPath, count)
+		onPath[nxt] = false
+	}
 }
 
 // HasCycleOfLength reports whether g contains at least one simple cycle of
 // length exactly l, with early exit.
 func (g *Graph) HasCycleOfLength(l int) (bool, error) {
 	if l < 3 {
-		return false, fmt.Errorf("graph: cycle length %d < 3", l)
+		return false, errCycleLen(l)
 	}
+	c := g.csr()
+	n := len(c.verts)
+	onPath := make([]bool, n)
 	found := false
-	onPath := make(map[V]bool, l)
-	var dfs func(start, cur V, depth int)
-	dfs = func(start, cur V, depth int) {
+	var dfs func(start, cur int32, depth int)
+	dfs = func(start, cur int32, depth int) {
 		if found {
 			return
 		}
 		if depth == l-1 {
-			if g.HasEdge(cur, start) {
+			if c.hasArc(cur, start) {
 				found = true
 			}
 			return
 		}
-		for _, nxt := range g.nbr[cur] {
+		for _, nxt := range c.row(cur) {
 			if found {
 				return
 			}
@@ -80,43 +90,41 @@ func (g *Graph) HasCycleOfLength(l int) (bool, error) {
 			}
 			onPath[nxt] = true
 			dfs(start, nxt, depth+1)
-			delete(onPath, nxt)
+			onPath[nxt] = false
 		}
 	}
-	for _, s := range g.vs {
-		if found {
-			break
-		}
+	for s := 0; s < n && !found; s++ {
 		onPath[s] = true
-		dfs(s, s, 0)
-		delete(onPath, s)
+		dfs(int32(s), int32(s), 0)
+		onPath[s] = false
 	}
 	return found, nil
 }
 
 // Girth returns the length of a shortest cycle in g, or 0 if g is acyclic.
-// It runs a truncated BFS from every vertex.
+// It runs a truncated BFS from every vertex over the CSR rows.
 func (g *Graph) Girth() int {
+	c := g.csr()
+	n := len(c.verts)
 	best := 0
-	dist := make(map[V]int, len(g.vs))
-	parent := make(map[V]V, len(g.vs))
-	for _, s := range g.vs {
-		for k := range dist {
-			delete(dist, k)
-		}
-		for k := range parent {
-			delete(parent, k)
+	const unseen = -1
+	dist := make([]int32, n)
+	parent := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = unseen
+			parent[i] = unseen
 		}
 		dist[s] = 0
-		queue := []V{s}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			if best > 0 && 2*dist[u] >= best {
+		queue = append(queue[:0], int32(s))
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			if best > 0 && 2*int(dist[u]) >= best {
 				break
 			}
-			for _, w := range g.nbr[u] {
-				if _, seen := dist[w]; !seen {
+			for _, w := range c.row(u) {
+				if dist[w] == unseen {
 					dist[w] = dist[u] + 1
 					parent[w] = u
 					queue = append(queue, w)
@@ -124,9 +132,9 @@ func (g *Graph) Girth() int {
 					// Cycle through s of length dist[u]+dist[w]+1 (may
 					// overestimate for cycles not through s; the minimum
 					// over all start vertices is exact).
-					c := dist[u] + dist[w] + 1
-					if best == 0 || c < best {
-						best = c
+					cl := int(dist[u]) + int(dist[w]) + 1
+					if best == 0 || cl < best {
+						best = cl
 					}
 				}
 			}

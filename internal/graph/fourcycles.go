@@ -47,19 +47,25 @@ func (c FourCycle) Edges() [4]Edge {
 	}
 }
 
-// coDegreeCounts computes, for each unordered vertex pair with at least two
-// common neighbors, the number of common neighbors. Pairs are keyed as
-// canonical Edges (the pair need not be an edge of the graph). The cost is
-// O(P2) time and O(#pairs with a common neighbor) space.
+// coDegreeCounts computes, for each unordered vertex pair with at least one
+// common neighbor, the number of common neighbors. Pairs are keyed as
+// canonical Edges (the pair need not be an edge of the graph). Each pair's
+// count is produced by 2-walk counting from its smaller endpoint into the
+// CSR's pooled scratch array — O(Σ deg²) time and O(n) transient space —
+// instead of a global map accumulation.
 func (g *Graph) coDegreeCounts() map[Edge]int32 {
+	c := g.csr()
+	s := c.getScratch()
+	defer c.putScratch(s)
 	cnt := make(map[Edge]int32)
-	for _, v := range g.vs {
-		ns := g.nbr[v]
-		for i := 0; i < len(ns); i++ {
-			for j := i + 1; j < len(ns); j++ {
-				cnt[Edge{ns[i], ns[j]}]++ // ns is sorted, so canonical
+	for a := 0; a < len(c.verts); a++ {
+		c.twoWalks(int32(a), s)
+		for _, b := range s.touched {
+			if b > int32(a) {
+				cnt[Edge{c.verts[a], c.verts[b]}] = s.cnt[b]
 			}
 		}
+		s.reset()
 	}
 	return cnt
 }
@@ -68,13 +74,38 @@ func (g *Graph) coDegreeCounts() map[Edge]int32 {
 // irrelevant) in g. A 4-cycle has two diagonals; for a pair {a,b} with c
 // common neighbors there are C(c,2) cycles with that diagonal, and each
 // cycle is counted at both of its diagonals, hence the division by two.
+// The pair counts come from per-source scratch-array 2-walk counting,
+// sharded across the kernel worker pool; the count is memoized.
 func (g *Graph) FourCycles() int64 {
-	var twice int64
-	for _, c := range g.coDegreeCounts() {
-		cc := int64(c)
-		twice += cc * (cc - 1) / 2
+	g.fourOnce.Do(func() { g.fourCount = g.computeFourCycles() })
+	return g.fourCount
+}
+
+// computeFourCycles is the unmemoized kernel behind FourCycles.
+func (g *Graph) computeFourCycles() int64 {
+	c := g.csr()
+	type acc struct {
+		twice int64
+		s     *codegScratch
 	}
-	return twice / 2
+	a := reduceShards(c,
+		func() *acc { return &acc{s: c.getScratch()} },
+		func(ac *acc, u int32) {
+			c.twoWalks(u, ac.s)
+			for _, b := range ac.s.touched {
+				if b > u {
+					cc := int64(ac.s.cnt[b])
+					ac.twice += cc * (cc - 1) / 2
+				}
+			}
+			ac.s.reset()
+		},
+		func(dst, src *acc) {
+			dst.twice += src.twice
+			c.putScratch(src.s)
+		})
+	c.putScratch(a.s)
+	return a.twice / 2
 }
 
 // ForEachFourCycle calls fn exactly once per 4-cycle in canonical form. Each
@@ -113,24 +144,41 @@ func (g *Graph) ForEachFourCycle(fn func(c FourCycle)) {
 }
 
 // FourCycleWedgeLoads returns, for every wedge contained in at least one
-// 4-cycle, the number of 4-cycles containing it (the paper's T_w). The wedge
-// a-v-b lies in c_{ab}-1 cycles where c_{ab} is the co-degree of its
-// endpoints, since every common neighbor of a,b other than v closes it.
+// 4-cycle, the number of 4-cycles containing it (the paper's T_w). The
+// wedge a-v-b lies in codeg(a,b)-1 cycles, since every common neighbor of
+// a,b other than v closes it. Wedges are produced from their smaller
+// endpoint via the scratch 2-walk counts — each worker owns the wedges
+// whose min endpoint falls in its shard, so the merged map is identical to
+// the sequential result.
 func (g *Graph) FourCycleWedgeLoads() map[Wedge]int64 {
-	cod := g.coDegreeCounts()
-	loads := make(map[Wedge]int64)
-	for _, v := range g.vs {
-		ns := g.nbr[v]
-		for i := 0; i < len(ns); i++ {
-			for j := i + 1; j < len(ns); j++ {
-				c := int64(cod[Edge{ns[i], ns[j]}])
-				if c > 1 {
-					loads[Wedge{ns[i], v, ns[j]}] = c - 1
+	c := g.csr()
+	type acc struct {
+		loads map[Wedge]int64
+		s     *codegScratch
+	}
+	a := reduceShards(c,
+		func() *acc { return &acc{loads: make(map[Wedge]int64), s: c.getScratch()} },
+		func(ac *acc, av int32) {
+			c.twoWalks(av, ac.s)
+			for _, v := range c.row(av) {
+				for _, b := range c.row(v) {
+					if b > av {
+						if cc := ac.s.cnt[b]; cc > 1 {
+							ac.loads[Wedge{c.verts[av], c.verts[v], c.verts[b]}] = int64(cc) - 1
+						}
+					}
 				}
 			}
-		}
-	}
-	return loads
+			ac.s.reset()
+		},
+		func(dst, src *acc) {
+			for w, l := range src.loads {
+				dst.loads[w] = l
+			}
+			c.putScratch(src.s)
+		})
+	c.putScratch(a.s)
+	return a.loads
 }
 
 // FourCycleEdgeLoads returns, for every edge in at least one 4-cycle, the

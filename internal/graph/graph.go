@@ -7,6 +7,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // V is a vertex identifier. Vertices are arbitrary non-negative int64 values;
@@ -32,12 +33,37 @@ func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.U, e.V) }
 
 // Graph is a finalized simple undirected graph. The zero value is an empty
 // graph. Graphs are built with NewBuilder or FromEdges and are immutable
-// afterwards; all read methods are safe for concurrent use.
+// afterwards; all read methods are safe for concurrent use — including the
+// lazily built CSR index and the memoized derived quantities below, which
+// are computed at most once per graph behind sync.Once.
 type Graph struct {
 	nbr  map[V][]V // sorted neighbor lists
 	vs   []V       // sorted vertex list
 	m    int64     // number of edges
 	maxD int       // maximum degree
+
+	// Lazily built CSR index (csr.go), shared by all exact kernels.
+	csrOnce sync.Once
+	csrIx   *csr
+
+	// Memoized derived quantities. Experiments score every grid point
+	// against these, so each is computed once per (immutable) graph.
+	triOnce        sync.Once
+	triCount       int64
+	fourOnce       sync.Once
+	fourCount      int64
+	wedgeOnce      sync.Once
+	wedgeP2        int64
+	triLoadsOnce   sync.Once
+	triLoadSlice   []int64 // per-edge triangle loads, canonical edge ids
+	triLoadMapOnce sync.Once
+	triLoadMap     map[Edge]int64
+	localTriOnce   sync.Once
+	localTriSlice  []int64 // per-vertex triangle counts, dense ids
+	momentsOnce    sync.Once
+	degMoments     [3]int64 // Σ deg, Σ deg², Σ deg³
+	motifOnce      sync.Once
+	motifCounts    MotifCounts
 }
 
 // Builder accumulates edges and produces a Graph. Duplicate edges and
@@ -198,18 +224,36 @@ func (g *Graph) Edges() []Edge {
 }
 
 // WedgeCount returns P2, the number of paths of length two, which equals
-// Σ_v C(deg(v), 2).
+// Σ_v C(deg(v), 2). Memoized.
 func (g *Graph) WedgeCount() int64 {
-	var p2 int64
-	for _, v := range g.vs {
-		d := int64(len(g.nbr[v]))
-		p2 += d * (d - 1) / 2
-	}
-	return p2
+	g.wedgeOnce.Do(func() {
+		var p2 int64
+		for _, v := range g.vs {
+			d := int64(len(g.nbr[v]))
+			p2 += d * (d - 1) / 2
+		}
+		g.wedgeP2 = p2
+	})
+	return g.wedgeP2
 }
 
 // DegreeSum returns Σ_v deg(v) = 2m.
 func (g *Graph) DegreeSum() int64 { return 2 * g.m }
+
+// DegreeMoments returns the first three degree moments Σ deg(v),
+// Σ deg(v)², Σ deg(v)³ — the quantities the space bounds' workload
+// parameters (m, P2, heavy-vertex skew) are phrased in. Memoized.
+func (g *Graph) DegreeMoments() (s1, s2, s3 int64) {
+	g.momentsOnce.Do(func() {
+		for _, v := range g.vs {
+			d := int64(len(g.nbr[v]))
+			g.degMoments[0] += d
+			g.degMoments[1] += d * d
+			g.degMoments[2] += d * d * d
+		}
+	})
+	return g.degMoments[0], g.degMoments[1], g.degMoments[2]
+}
 
 // commonNeighbors returns |N(u) ∩ N(v)| using a sorted-merge intersection.
 func (g *Graph) commonNeighbors(u, v V) int {

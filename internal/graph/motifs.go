@@ -29,55 +29,71 @@ type MotifCounts struct {
 //	Paw      = Σ_v localT(v)·(deg v − 2)
 //	Diamond  = Σ_{e∈E} C(T(e), 2)
 //	K4       = (1/4)·Σ_{triangles uvw} |N(u) ∩ N(v) ∩ N(w)|
+//
+// All pieces run over the CSR index: the degree terms stream the flat rows,
+// Paw and Diamond reuse the memoized local-triangle and edge-load slices,
+// and the K4 intersection scan is sharded across the kernel worker pool.
+// The census itself is memoized.
 func (g *Graph) Motifs() MotifCounts {
+	g.motifOnce.Do(func() {
+		g.motifCounts = g.computeMotifs(
+			g.Triangles(), g.FourCycles(),
+			g.localTriangleSlice(), g.triangleLoadSlice())
+	})
+	return g.motifCounts
+}
+
+// computeMotifs assembles the census from precomputed triangle/4-cycle
+// counts and per-vertex/per-edge triangle loads. Motifs passes the memoized
+// values; the benchmark suite recomputes them each iteration.
+func (g *Graph) computeMotifs(t, c4 int64, localTri, edgeLoads []int64) MotifCounts {
 	var mc MotifCounts
+	c := g.csr()
 
-	t := g.Triangles()
-
-	// Path4 and the per-edge degree products.
-	for _, u := range g.vs {
-		du := int64(len(g.nbr[u]))
-		for _, v := range g.nbr[u] {
-			if u < v {
-				dv := int64(len(g.nbr[v]))
-				mc.Path4 += (du - 1) * (dv - 1)
-			}
+	// Path4 (per-edge degree products) and Claw, from the CSR rows.
+	for v := 0; v < len(c.verts); v++ {
+		d := int64(c.degree(int32(v)))
+		mc.Claw += d * (d - 1) * (d - 2) / 6
+		for j := c.upStart[v]; j < c.rowPtr[v+1]; j++ {
+			du := int64(c.degree(c.colIdx[j]))
+			mc.Path4 += (d - 1) * (du - 1)
 		}
 	}
 	mc.Path4 -= 3 * t
 
-	// Claw.
-	for _, v := range g.vs {
-		d := int64(len(g.nbr[v]))
-		mc.Claw += d * (d - 1) * (d - 2) / 6
+	mc.Cycle4 = c4
+
+	// Paw from the local triangle counts.
+	for v, lt := range localTri {
+		if lt != 0 {
+			mc.Paw += lt * int64(c.degree(int32(v))-2)
+		}
 	}
 
-	mc.Cycle4 = g.FourCycles()
-
-	// Paw from local triangle counts.
-	for v, lt := range g.LocalTriangles() {
-		mc.Paw += lt * int64(len(g.nbr[v])-2)
-	}
-
-	// Diamond from per-edge triangle loads.
-	for _, l := range g.TriangleLoads() {
+	// Diamond from the per-edge triangle loads.
+	for _, l := range edgeLoads {
 		mc.Diamond += l * (l - 1) / 2
 	}
 
 	// K4 via triple neighborhood intersections at each triangle; each K4
 	// has four triangles, each finding the fourth vertex once.
-	var k4x4 int64
-	g.ForEachTriangle(func(tr Triangle) {
-		k4x4 += g.tripleCommon(tr.A, tr.B, tr.C)
-	})
-	mc.K4 = k4x4 / 4
+	k4x4 := reduceShards(c,
+		func() *int64 { return new(int64) },
+		func(acc *int64, v int32) {
+			c.triangleScan(v, func(u, w int32, _, _, _ int64) {
+				*acc += c.tripleCommon(v, u, w)
+			})
+		},
+		func(dst, src *int64) { *dst += *src })
+	mc.K4 = *k4x4 / 4
 
 	return mc
 }
 
-// tripleCommon returns |N(a) ∩ N(b) ∩ N(c)| by three-way sorted merge.
-func (g *Graph) tripleCommon(a, b, c V) int64 {
-	la, lb, lc := g.nbr[a], g.nbr[b], g.nbr[c]
+// tripleCommon returns |N(a) ∩ N(b) ∩ N(c)| by three-way sorted merge over
+// the flat CSR rows.
+func (c *csr) tripleCommon(a, b, d int32) int64 {
+	la, lb, lc := c.row(a), c.row(b), c.row(d)
 	i, j, k := 0, 0, 0
 	var n int64
 	for i < len(la) && j < len(lb) && k < len(lc) {

@@ -1,7 +1,5 @@
 package graph
 
-import "sort"
-
 // Triangle is a triangle on three distinct vertices in sorted order A < B < C.
 type Triangle struct {
 	A, B, C V
@@ -27,61 +25,19 @@ func (t Triangle) Opposite(e Edge) V {
 	panic("graph: edge not in triangle")
 }
 
-// rank orders vertices by (degree, id); the forward triangle-enumeration
-// algorithm directs each edge from lower to higher rank, which bounds the
-// out-degree by O(√m) and gives an O(m^{3/2}) enumeration.
-func (g *Graph) rank() map[V]int {
-	vs := make([]V, len(g.vs))
-	copy(vs, g.vs)
-	sort.Slice(vs, func(i, j int) bool {
-		di, dj := len(g.nbr[vs[i]]), len(g.nbr[vs[j]])
-		if di != dj {
-			return di < dj
-		}
-		return vs[i] < vs[j]
-	})
-	r := make(map[V]int, len(vs))
-	for i, v := range vs {
-		r[v] = i
-	}
-	return r
-}
-
 // ForEachTriangle calls fn exactly once for every triangle in g, in sorted
-// vertex order (A < B < C). Enumeration runs in O(m^{3/2}) time.
+// vertex order (A < B < C), running in O(m^{3/2}) over the CSR index's
+// cached degree-rank orientation. The visit order is identical to the
+// original map-based enumeration (and is asserted against it in the
+// property tests). Enumeration is sequential — fn need not be safe for
+// concurrent use; the aggregate kernels (Triangles, TriangleLoads, ...)
+// shard the same scan across workers instead.
 func (g *Graph) ForEachTriangle(fn func(t Triangle)) {
-	r := g.rank()
-	// out[v] = neighbors of v with higher rank, sorted by vertex id.
-	out := make(map[V][]V, len(g.vs))
-	for _, v := range g.vs {
-		rv := r[v]
-		var os []V
-		for _, u := range g.nbr[v] {
-			if r[u] > rv {
-				os = append(os, u)
-			}
-		}
-		out[v] = os // already sorted: g.nbr[v] is sorted
-	}
-	for _, v := range g.vs {
-		ov := out[v]
-		for _, u := range ov {
-			ou := out[u]
-			// Intersect ov and ou by sorted merge.
-			i, j := 0, 0
-			for i < len(ov) && j < len(ou) {
-				switch {
-				case ov[i] < ou[j]:
-					i++
-				case ov[i] > ou[j]:
-					j++
-				default:
-					fn(sortedTriangle(v, u, ov[i]))
-					i++
-					j++
-				}
-			}
-		}
+	c := g.csr()
+	for v := 0; v < len(c.verts); v++ {
+		c.triangleScan(int32(v), func(u, w int32, _, _, _ int64) {
+			fn(sortedTriangle(c.verts[v], c.verts[u], c.verts[w]))
+		})
 	}
 }
 
@@ -98,23 +54,75 @@ func sortedTriangle(a, b, c V) Triangle {
 	return Triangle{a, b, c}
 }
 
-// Triangles returns the exact number of triangles in g.
+// Triangles returns the exact number of triangles in g. The count is
+// computed once — sharded across the kernel worker pool on large graphs —
+// and memoized.
 func (g *Graph) Triangles() int64 {
-	var t int64
-	g.ForEachTriangle(func(Triangle) { t++ })
-	return t
+	g.triOnce.Do(func() { g.triCount = g.computeTriangles() })
+	return g.triCount
+}
+
+// computeTriangles is the unmemoized kernel behind Triangles. The benchmark
+// suite calls it directly so every iteration does real work.
+func (g *Graph) computeTriangles() int64 {
+	c := g.csr()
+	acc := reduceShards(c,
+		func() *int64 { return new(int64) },
+		func(acc *int64, v int32) {
+			c.triangleScan(v, func(_, _ int32, _, _, _ int64) { *acc++ })
+		},
+		func(dst, src *int64) { *dst += *src })
+	return *acc
+}
+
+// triangleLoadSlice returns the memoized per-edge triangle counts indexed
+// by canonical CSR edge id.
+func (g *Graph) triangleLoadSlice() []int64 {
+	g.triLoadsOnce.Do(func() { g.triLoadSlice = g.computeTriangleLoadSlice() })
+	return g.triLoadSlice
+}
+
+// computeTriangleLoadSlice is the unmemoized kernel behind
+// triangleLoadSlice (and thus TriangleLoads and MaxTriangleLoad).
+func (g *Graph) computeTriangleLoadSlice() []int64 {
+	c := g.csr()
+	acc := reduceShards(c,
+		func() *[]int64 { s := make([]int64, g.m); return &s },
+		func(acc *[]int64, v int32) {
+			s := *acc
+			c.triangleScan(v, func(_, _ int32, evu, evw, euw int64) {
+				s[evu]++
+				s[evw]++
+				s[euw]++
+			})
+		},
+		func(dst, src *[]int64) {
+			d := *dst
+			for i, x := range *src {
+				if x != 0 {
+					d[i] += x
+				}
+			}
+		})
+	return *acc
 }
 
 // TriangleLoads returns, for every edge that participates in at least one
-// triangle, the number of triangles containing that edge (the paper's T(e)).
+// triangle, the number of triangles containing that edge (the paper's
+// T(e)). The map is computed once and shared: callers must not modify it.
 func (g *Graph) TriangleLoads() map[Edge]int64 {
-	loads := make(map[Edge]int64)
-	g.ForEachTriangle(func(t Triangle) {
-		for _, e := range t.Edges() {
-			loads[e]++
-		}
+	g.triLoadMapOnce.Do(func() {
+		loads := g.triangleLoadSlice()
+		c := g.csr()
+		mp := make(map[Edge]int64)
+		c.forEachUpEdge(func(id int64, a, b int32) {
+			if l := loads[id]; l != 0 {
+				mp[Edge{c.verts[a], c.verts[b]}] = l
+			}
+		})
+		g.triLoadMap = mp
 	})
-	return loads
+	return g.triLoadMap
 }
 
 // Transitivity returns the global clustering coefficient 3T / P2, or 0 when
@@ -128,9 +136,11 @@ func (g *Graph) Transitivity() float64 {
 }
 
 // MaxTriangleLoad returns the maximum number of triangles sharing one edge.
+// It streams the max over the flat per-edge load slice instead of
+// materializing the Edge-keyed map.
 func (g *Graph) MaxTriangleLoad() int64 {
 	var mx int64
-	for _, l := range g.TriangleLoads() {
+	for _, l := range g.triangleLoadSlice() {
 		if l > mx {
 			mx = l
 		}
