@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-json cover all
+.PHONY: build test race vet bench bench-smoke bench-json journal-smoke cover all
 
 all: build vet test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/stream/... ./internal/core/... ./internal/graph/...
+	$(GO) test -race . ./internal/stream/... ./internal/core/... ./internal/graph/... ./internal/telemetry/...
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,15 @@ bench:
 # One iteration of every benchmark: catches bit-rot without the wait.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Tiny end-to-end journal run: one experiment with -journal (telemetry on,
+# no listener), then assert the JSONL validates and re-renders.
+journal-smoke:
+	@rm -f /tmp/journal-smoke.jsonl
+	$(GO) run ./cmd/experiments -id F1 -seed 1 -journal /tmp/journal-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/runjournal -check /tmp/journal-smoke.jsonl
+	$(GO) run ./cmd/runjournal -id F1 /tmp/journal-smoke.jsonl >/dev/null
+	@rm -f /tmp/journal-smoke.jsonl
 
 # Full benchmark run archived as machine-readable JSON (see cmd/bench2json).
 bench-json:

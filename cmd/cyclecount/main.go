@@ -23,6 +23,7 @@ import (
 	"text/tabwriter"
 
 	"adjstream"
+	"adjstream/internal/telemetry"
 )
 
 func main() {
@@ -81,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	compare := fs.Bool("compare", false, "run every algorithm at the given budget and tabulate")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	listen := fs.String("listen", "", "serve live telemetry (expvar + pprof) on this address, e.g. localhost:6060")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -95,6 +97,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer stopProfiles()
+	if *listen != "" {
+		ln, err := telemetry.Listen(*listen)
+		if err != nil {
+			fmt.Fprintln(stderr, "cyclecount:", err)
+			return 1
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "cyclecount: telemetry on http://%s/debug/vars (pprof under /debug/pprof/)\n", ln.Addr())
+	}
 
 	s, err := loadStream(fs.Arg(0), *isStream, *order, *seed)
 	if err != nil {

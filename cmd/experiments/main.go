@@ -7,6 +7,12 @@
 // Usage:
 //
 //	experiments [-seed N] [-id T1.R6|F1|M1|A3|all] [-format markdown|csv] [-out FILE]
+//	            [-journal FILE] [-listen ADDR]
+//
+// -journal appends a JSONL run journal (provenance header, one record per
+// grid point, per-experiment telemetry snapshot) that cmd/runjournal can
+// validate and re-summarize. -listen serves the live telemetry registry
+// over expvar plus net/http/pprof while the run executes.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"runtime/pprof"
 
 	"adjstream/internal/exp"
+	"adjstream/internal/telemetry"
 )
 
 func main() {
@@ -71,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	driverStats := fs.Bool("driverstats", false, "append the driver-counter table (stream reads, batches, queue depth) after the experiments")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	journal := fs.String("journal", "", "append a JSONL run journal to this file (enables telemetry)")
+	listen := fs.String("listen", "", "serve live telemetry (expvar + pprof) on this address, e.g. localhost:6060")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,6 +92,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := exp.SetDriver(*driver); err != nil {
 		fmt.Fprintln(stderr, "experiments:", err)
 		return 2
+	}
+	if *listen != "" {
+		ln, err := telemetry.Listen(*listen)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "experiments: telemetry on http://%s/debug/vars (pprof under /debug/pprof/)\n", ln.Addr())
+	}
+	if *journal != "" {
+		telemetry.Enable()
+		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		defer f.Close()
+		exp.SetJournal(f)
+		defer exp.SetJournal(nil)
 	}
 
 	if *list {

@@ -1,0 +1,108 @@
+// Command runjournal validates and summarizes the JSONL run journals that
+// `experiments -journal` emits. By default it prints one overview table
+// (grid points, elapsed time, stream traversal work, and peak space words
+// per experiment); -id re-renders the recorded grid points of one
+// experiment as the original table; -check only validates and prints a
+// record count, which is what the `make journal-smoke` CI target asserts.
+//
+// Usage:
+//
+//	runjournal [-check] [-id T1.R9|all] [-format markdown|csv] [FILE...]
+//
+// With no FILE arguments the journal is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"adjstream/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// readAll parses the journals named by paths (stdin when empty) into one
+// record sequence, in argument order.
+func readAll(paths []string, stdin io.Reader) ([]exp.JournalRecord, error) {
+	if len(paths) == 0 {
+		return exp.ReadJournal(stdin)
+	}
+	var out []exp.JournalRecord
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := exp.ReadJournal(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+func render(w io.Writer, tables []*exp.Table, format string, stderr io.Writer) int {
+	for _, t := range tables {
+		switch format {
+		case "markdown":
+			fmt.Fprintln(w, t.Markdown())
+		case "csv":
+			fmt.Fprintln(w, t.CSV())
+		default:
+			fmt.Fprintf(stderr, "runjournal: unknown format %q\n", format)
+			return 1
+		}
+	}
+	return 0
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("runjournal", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	check := fs.Bool("check", false, "validate the journal and print a record count, no tables")
+	id := fs.String("id", "", "re-render the recorded table of one experiment id ('all' for every one)")
+	format := fs.String("format", "markdown", "output format: markdown or csv")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	recs, err := readAll(fs.Args(), stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "runjournal:", err)
+		return 1
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(stderr, "runjournal: empty journal")
+		return 1
+	}
+	if *check {
+		runs, points, exps := 0, 0, 0
+		for _, r := range recs {
+			switch r.Kind {
+			case exp.KindRun:
+				runs++
+			case exp.KindGridPoint:
+				points++
+			case exp.KindExperiment:
+				exps++
+			}
+		}
+		fmt.Fprintf(stdout, "ok: %d records (%d runs, %d grid points, %d experiments)\n",
+			len(recs), runs, points, exps)
+		return 0
+	}
+	if *id != "" {
+		tables, err := exp.JournalTables(recs, *id)
+		if err != nil {
+			fmt.Fprintln(stderr, "runjournal:", err)
+			return 1
+		}
+		return render(stdout, tables, *format, stderr)
+	}
+	return render(stdout, []*exp.Table{exp.SummarizeJournal(recs)}, *format, stderr)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"os"
+
+	"adjstream/internal/exp"
+	"adjstream/internal/telemetry"
+)
+
+// writeJournal runs one experiment with journaling on and returns the
+// journal file path.
+func writeJournal(t *testing.T) string {
+	t.Helper()
+	telemetry.Enable()
+	t.Cleanup(telemetry.Disable)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.SetJournal(f)
+	defer exp.SetJournal(nil)
+	if _, err := exp.Run("F1", 1); err != nil {
+		t.Fatalf("exp.Run: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCheck(t *testing.T) {
+	path := writeJournal(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-check", path}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("run -check = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "ok: ") || !strings.Contains(out.String(), "5 grid points") {
+		t.Errorf("unexpected -check output: %q", out.String())
+	}
+}
+
+func TestRunSummaryAndRerender(t *testing.T) {
+	path := writeJournal(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Run journal summary") || !strings.Contains(out.String(), "| F1 |") {
+		t.Errorf("summary missing expected content:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-id", "F1", "-format", "csv", path}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("run -id F1 = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "panel,") {
+		t.Errorf("re-rendered CSV missing header:\n%s", out.String())
+	}
+}
+
+func TestRunStdinAndErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	// Valid single record over stdin.
+	in := `{"kind":"run","seed":3}` + "\n"
+	if code := run([]string{"-check"}, strings.NewReader(in), &out, &errOut); code != 0 {
+		t.Fatalf("stdin -check = %d, stderr: %s", code, errOut.String())
+	}
+	// Malformed journal fails.
+	errOut.Reset()
+	if code := run([]string{"-check"}, strings.NewReader(`{"kind":"?"}`+"\n"), &out, &errOut); code != 1 {
+		t.Errorf("malformed journal: code = %d, want 1", code)
+	}
+	// Empty journal fails.
+	if code := run([]string{"-check"}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Errorf("empty journal: code = %d, want 1", code)
+	}
+	// Missing file fails.
+	if code := run([]string{"-check", "/nonexistent/journal.jsonl"}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Errorf("missing file: code = %d, want 1", code)
+	}
+}

@@ -1,0 +1,13 @@
+// Package baseline implements the prior-work streaming algorithms that
+// Table 1 of the paper compares against: the one-pass Õ(m/√T) edge-sampling
+// triangle estimator in the style of McGregor–Vorotnikova–Vu [27], a
+// one-pass wedge-sampling estimator in the style of Buriol et al. [12] /
+// Jha–Seshadhri–Pinar [17] (unbiased under random list order), the one-pass
+// 4-cycle edge-sampling heuristic that Theorem 5.3's lower bound defeats,
+// a local (per-vertex) triangle counter, and the trivial O(m) exact
+// streaming counter that anchors the space axis.
+//
+// Every estimator charges an internal/space meter for retained state; with
+// the global registry of internal/telemetry enabled, each constructor also
+// mirrors its meter's high-water mark under "baseline.<name>.space_words".
+package baseline

@@ -25,7 +25,9 @@ func NewExactStream(cycleLen int) (*ExactStream, error) {
 	if cycleLen < 3 {
 		return nil, fmt.Errorf("baseline: cycle length %d < 3", cycleLen)
 	}
-	return &ExactStream{cycleLen: cycleLen, builder: graph.NewBuilder()}, nil
+	e := &ExactStream{cycleLen: cycleLen, builder: graph.NewBuilder()}
+	attachMeter("exact_stream", &e.meter)
+	return e, nil
 }
 
 // Passes implements stream.Algorithm.

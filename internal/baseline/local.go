@@ -57,6 +57,7 @@ func NewLocalTriangles(p float64, seed uint64) (*LocalTriangles, error) {
 		det:     &detectorLite{recs: make(map[graph.Edge]*liteRec), byVertex: make(map[graph.V][]*liteRec)},
 		sampler: sampling.NewFixedProb(p, seed),
 	}
+	attachMeter("local_triangles", &l.meter)
 	return l, nil
 }
 

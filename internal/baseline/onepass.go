@@ -1,9 +1,3 @@
-// Package baseline implements the prior-work streaming algorithms that
-// Table 1 of the paper compares against: the one-pass Õ(m/√T) edge-sampling
-// triangle estimator in the style of McGregor–Vorotnikova–Vu [27], a
-// one-pass wedge-sampling estimator in the style of Buriol et al. [12] /
-// Jha–Seshadhri–Pinar [17] (unbiased under random list order), and the
-// trivial O(m) exact streaming counter that anchors the space axis.
 package baseline
 
 import (
@@ -97,6 +91,7 @@ func NewOnePassTriangle(cfg Config) (*OnePassTriangle, error) {
 			o.meter.Release(space.WordsPerEdge)
 		}
 	})
+	attachMeter("onepass_triangle", &o.meter)
 	return o, nil
 }
 

@@ -39,6 +39,7 @@ func NewOnePassFourCycle(cfg Config) (*OnePassFourCycle, error) {
 		o.evicted[e] = true
 		o.meter.Release(space.WordsPerEdge)
 	})
+	attachMeter("onepass_fourcycle", &o.meter)
 	return o, nil
 }
 

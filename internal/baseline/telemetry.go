@@ -1,0 +1,16 @@
+package baseline
+
+import (
+	"adjstream/internal/space"
+	"adjstream/internal/telemetry"
+)
+
+// attachMeter mirrors a baseline estimator's space high-water mark into the
+// global telemetry registry as baseline.<name>.space_words — the same
+// per-pass observability the core estimators get, at the same zero cost
+// when telemetry is disabled (nil handle, nil check per new peak). The
+// meter stays the source of truth for SpaceWords; the registry is the live
+// window over it.
+func attachMeter(name string, m *space.Meter) {
+	m.Attach(telemetry.Global().HighWater("baseline." + name + ".space_words"))
+}

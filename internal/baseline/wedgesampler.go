@@ -70,6 +70,7 @@ func NewWedgeSampler(cfg Config) (*WedgeSampler, error) {
 	}
 	w.wedges = sampling.NewReservoir[*sampledWedge](cap, cfg.Seed^0x1f3a_5b77)
 	w.sampler = cfg.newSampler(func(e graph.Edge) { w.evictEdge(e) })
+	attachMeter("wedge_sampler", &w.meter)
 	return w, nil
 }
 

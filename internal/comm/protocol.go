@@ -5,6 +5,7 @@ import (
 
 	"adjstream/internal/graph"
 	"adjstream/internal/stream"
+	"adjstream/internal/telemetry"
 )
 
 // Transcript records one simulated run of a streaming algorithm used as a
@@ -47,9 +48,18 @@ func RunProtocol(segments [][]stream.Item, alg stream.Estimator) (*Transcript, e
 	if err := stream.Validate(all); err != nil {
 		return nil, fmt.Errorf("comm: invalid protocol stream: %w", err)
 	}
+	// Per-pass communication telemetry: a pass of the simulated protocol is
+	// one round, and its handoff words are the round's communication —
+	// the per-pass axis the Section 5 lower bounds are stated on.
+	reg := telemetry.Global()
+	passWords := reg.Histogram("comm.pass_words")
+	handoffCount := reg.Counter("comm.handoffs")
+	totalWords := reg.Counter("comm.handoff_words")
+	peakWords := reg.HighWater("comm.peak_words")
 	tr := &Transcript{}
 	passes := alg.Passes()
 	for p := 0; p < passes; p++ {
+		passStart := tr.TotalWords
 		alg.StartPass(p)
 		var cur graph.V
 		inList := false
@@ -89,6 +99,10 @@ func RunProtocol(segments [][]stream.Item, alg stream.Estimator) (*Transcript, e
 			inList = false
 		}
 		alg.EndPass(p)
+		passWords.Observe(tr.TotalWords - passStart)
 	}
+	handoffCount.Add(int64(tr.Handoffs))
+	totalWords.Add(tr.TotalWords)
+	peakWords.Observe(tr.PeakWords)
 	return tr, nil
 }

@@ -1,14 +1,3 @@
-// Package core implements the paper's contribution: the two-pass
-// Õ(m/T^{2/3}) triangle estimator of Theorem 3.7 (with the lightest-edge
-// rule computed through the stream-order proxy H_{e,τ}), the three-pass
-// exact-T_e variant sketched in Section 2.1, the naive two-pass edge-sample
-// estimator/distinguisher that motivates both, and the two-pass Õ(m/T^{3/8})
-// 4-cycle estimator of Theorem 4.6, together with the Lemma 4.2 good-wedge
-// analysis.
-//
-// All algorithms operate item-at-a-time in the adjacency list streaming
-// model (see internal/stream) and charge a space meter for every word of
-// state they retain, so measured space is honest.
 package core
 
 import "adjstream/internal/graph"

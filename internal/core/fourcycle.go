@@ -71,6 +71,7 @@ type TwoPassFourCycle struct {
 	items int64
 	m     int64
 	meter space.Meter
+	tele  estTele
 }
 
 var _ stream.Estimator = (*TwoPassFourCycle)(nil)
@@ -86,6 +87,7 @@ func NewTwoPassFourCycle(cfg FourCycleConfig) (*TwoPassFourCycle, error) {
 	} else {
 		f.sampler = sampling.NewFixedProb(cfg.SampleProb, cfg.Seed)
 	}
+	f.tele = newEstTele("twopass_fourcycle", &f.meter)
 	return f, nil
 }
 
@@ -138,11 +140,16 @@ func (f *TwoPassFourCycle) EndList(owner graph.V) {
 // EndPass implements stream.Algorithm.
 func (f *TwoPassFourCycle) EndPass(p int) {
 	if p != 0 {
+		f.tele.liveWords.Set(f.meter.Live())
 		return
 	}
 	f.m = f.items / 2
 	f.meter.Charge(int64(f.sampler.Len()) * space.WordsPerEdge)
 	f.buildWedges()
+	f.tele.occupancy.Set(int64(f.sampler.Len()))
+	f.tele.pairsKept.Set(int64(len(f.wedges)))
+	f.tele.pairsFound.Add(f.totalWedges)
+	f.tele.liveWords.Set(f.meter.Live())
 }
 
 // buildWedges forms Q, the wedges inside the final edge sample.

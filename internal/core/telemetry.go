@@ -1,0 +1,46 @@
+package core
+
+import (
+	"adjstream/internal/space"
+	"adjstream/internal/telemetry"
+)
+
+// Estimator telemetry. Handles are bound at construction (one atomic load
+// when disabled) and updated at pass boundaries — never per item — so the
+// estimators' Edge hot paths stay uninstrumented. All copies of an
+// estimator type share the same handles: counters accumulate across copies,
+// gauges show the most recent pass (the "what is occupancy right now" view
+// of a live sweep), and the space high-water mark is the max over copies —
+// directly comparable to the per-copy internal/space numbers, which remain
+// exact per estimator via SpaceWords.
+//
+// Metric names, per estimator (e.g. core.twopass_triangle.*):
+//
+//	core.<name>.space_words       high-water — peak words across copies
+//	core.<name>.space_words_live  gauge      — live words at last pass end
+//	core.<name>.sampled_edges     gauge      — edge-sample occupancy
+//	core.<name>.pairs_kept        gauge      — candidate pairs/wedges held
+//	core.<name>.pairs_found       counter    — pairs/wedges discovered
+type estTele struct {
+	liveWords  *telemetry.Gauge
+	occupancy  *telemetry.Gauge
+	pairsKept  *telemetry.Gauge
+	pairsFound *telemetry.Counter
+}
+
+// newEstTele binds the handle set for the named estimator and attaches the
+// meter's high-water mirror; the zero value (telemetry disabled) is inert.
+func newEstTele(name string, meter *space.Meter) estTele {
+	r := telemetry.Global()
+	if r == nil {
+		return estTele{}
+	}
+	p := "core." + name + "."
+	meter.Attach(r.HighWater(p + "space_words"))
+	return estTele{
+		liveWords:  r.Gauge(p + "space_words_live"),
+		occupancy:  r.Gauge(p + "sampled_edges"),
+		pairsKept:  r.Gauge(p + "pairs_kept"),
+		pairsFound: r.Counter(p + "pairs_found"),
+	}
+}

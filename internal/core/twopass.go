@@ -81,6 +81,7 @@ type TwoPassTriangle struct {
 	items  int64 // items seen in pass one; m = items/2
 	m      int64
 	meter  space.Meter
+	tele   estTele
 	inList bool
 }
 
@@ -102,6 +103,7 @@ func NewTwoPassTriangle(cfg TriangleConfig) (*TwoPassTriangle, error) {
 		t.sampler = sampling.NewFixedProb(cfg.SampleProb, cfg.Seed)
 	}
 	t.pairs = sampling.NewReservoir[*trianglePair](cfg.pairCap(), cfg.Seed^0x5bf0_3635)
+	t.tele = newEstTele("twopass_triangle", &t.meter)
 	return t, nil
 }
 
@@ -159,7 +161,11 @@ func (t *TwoPassTriangle) EndList(owner graph.V) {
 
 // EndPass implements stream.Algorithm.
 func (t *TwoPassTriangle) EndPass(p int) {
+	t.tele.occupancy.Set(int64(t.det.len()))
+	t.tele.pairsKept.Set(int64(t.pairs.Len()))
+	t.tele.liveWords.Set(t.meter.Live())
 	if p != 0 {
+		t.tele.pairsFound.Add(t.pairs.Offered())
 		return
 	}
 	t.m = t.items / 2

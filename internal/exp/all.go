@@ -37,14 +37,22 @@ func Registry() []Experiment {
 }
 
 // Run executes the experiment with the given id, or all of them for "all",
-// returning the tables in order.
+// returning the tables in order. When a journal writer is installed (see
+// SetJournal), every run appends a provenance header, one grid-point record
+// per table row, and a per-experiment trailer with the telemetry metrics
+// snapshot and driver-counter delta.
 func Run(id string, seed uint64) ([]*Table, error) {
+	if journaling() {
+		if err := journalRunHeader(seed); err != nil {
+			return nil, fmt.Errorf("exp: writing journal header: %w", err)
+		}
+	}
 	var out []*Table
 	for _, e := range Registry() {
 		if id != "all" && e.ID != id {
 			continue
 		}
-		t, err := e.Run(seed)
+		t, err := runExperimentJournaled(e, seed)
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", e.ID, err)
 		}

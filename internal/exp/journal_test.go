@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adjstream/internal/telemetry"
+)
+
+// TestJournalRoundTrip drives one experiment with a journal installed and
+// checks the full cycle: write → parse → re-summarize reproduces the tables
+// the run returned.
+func TestJournalRoundTrip(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	var buf bytes.Buffer
+	SetJournal(&buf)
+	defer SetJournal(nil)
+
+	tables, err := Run("F1", 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	SetJournal(nil)
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	want := tables[0]
+
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	var runs, points, exps int
+	for _, r := range recs {
+		switch r.Kind {
+		case KindRun:
+			runs++
+			if r.Seed != 1 {
+				t.Errorf("run header seed = %d, want 1", r.Seed)
+			}
+			if r.Driver == "" || r.GoVersion == "" || r.Workers == 0 {
+				t.Errorf("run header missing environment fields: %+v", r)
+			}
+		case KindGridPoint:
+			points++
+			if r.Experiment != "F1" || r.Row != points {
+				t.Errorf("grid point %d: experiment=%q row=%d", points, r.Experiment, r.Row)
+			}
+			if !reflect.DeepEqual(r.Header, want.Header) {
+				t.Errorf("grid point header = %v, want %v", r.Header, want.Header)
+			}
+			p := r.Point()
+			for i, h := range r.Header {
+				if p[h] != r.Cells[i] {
+					t.Errorf("Point()[%q] = %q, want %q", h, p[h], r.Cells[i])
+				}
+			}
+		case KindExperiment:
+			exps++
+			if r.Title != want.Title {
+				t.Errorf("experiment title = %q, want %q", r.Title, want.Title)
+			}
+			if !reflect.DeepEqual(r.Notes, want.Notes) {
+				t.Errorf("experiment notes = %v, want %v", r.Notes, want.Notes)
+			}
+			if r.DriverStats == nil {
+				t.Error("experiment record missing driver stats")
+			}
+		}
+	}
+	if runs != 1 || points != len(want.Rows) || exps != 1 {
+		t.Fatalf("record counts: %d runs, %d points, %d experiments; want 1, %d, 1",
+			runs, points, exps, len(want.Rows))
+	}
+
+	// Re-summarize: the recorded grid points reconstruct the original table.
+	got, err := JournalTables(recs, "F1")
+	if err != nil {
+		t.Fatalf("JournalTables: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("JournalTables returned %d tables, want 1", len(got))
+	}
+	g := got[0]
+	if g.ID != want.ID || g.Title != want.Title ||
+		!reflect.DeepEqual(g.Header, want.Header) ||
+		!reflect.DeepEqual(g.Rows, want.Rows) ||
+		!reflect.DeepEqual(g.Notes, want.Notes) {
+		t.Errorf("reconstructed table differs:\ngot  %+v\nwant %+v", g, want)
+	}
+
+	// The overview renders without error and names the experiment.
+	sum := SummarizeJournal(recs)
+	if len(sum.Rows) != 1 || sum.Rows[0][0] != "F1" {
+		t.Errorf("summary rows = %v", sum.Rows)
+	}
+}
+
+// TestJournalCapturesMetrics checks that an experiment that runs estimators
+// records a telemetry snapshot with space high-water marks in its trailer.
+func TestJournalCapturesMetrics(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	var buf bytes.Buffer
+	SetJournal(&buf)
+	defer SetJournal(nil)
+
+	if _, err := Run("A1", 1); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	SetJournal(nil)
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	var trailer *JournalRecord
+	for i := range recs {
+		if recs[i].Kind == KindExperiment {
+			trailer = &recs[i]
+		}
+	}
+	if trailer == nil {
+		t.Fatal("no experiment trailer recorded")
+	}
+	if len(trailer.Metrics) == 0 {
+		t.Fatal("experiment trailer has no metrics snapshot")
+	}
+	var sawSpace bool
+	for k := range trailer.Metrics {
+		if strings.HasSuffix(k, ".space_words") {
+			sawSpace = true
+		}
+	}
+	if !sawSpace {
+		t.Errorf("metrics snapshot has no .space_words key: %v", keysOf(trailer.Metrics))
+	}
+	if trailer.DriverStats == nil || trailer.DriverStats.StreamItemsRead == 0 {
+		t.Errorf("driver stats delta missing or empty: %+v", trailer.DriverStats)
+	}
+	if trailer.ElapsedMS <= 0 {
+		t.Errorf("elapsed = %v, want > 0", trailer.ElapsedMS)
+	}
+}
+
+func keysOf(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestReadJournalRejectsMalformed checks the validation -check relies on.
+func TestReadJournalRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, line string
+	}{
+		{"bad json", `{"kind":`},
+		{"unknown kind", `{"kind":"mystery"}`},
+		{"grid point without id", `{"kind":"grid-point","header":["a"],"cells":["1"]}`},
+		{"column mismatch", `{"kind":"grid-point","experiment":"X","header":["a","b"],"cells":["1"]}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadJournal(strings.NewReader(c.line + "\n")); err == nil {
+			t.Errorf("%s: ReadJournal accepted %q", c.name, c.line)
+		}
+	}
+	// Blank lines are fine.
+	recs, err := ReadJournal(strings.NewReader("\n{\"kind\":\"run\",\"seed\":7}\n\n"))
+	if err != nil || len(recs) != 1 {
+		t.Errorf("blank-line journal: recs=%d err=%v", len(recs), err)
+	}
+}

@@ -6,10 +6,24 @@
 // vertex id in a word).
 package space
 
+import "adjstream/internal/telemetry"
+
 // Meter tracks live and peak words of state.
 type Meter struct {
 	live int64
 	peak int64
+	hw   *telemetry.HighWater
+}
+
+// Attach mirrors the meter's high-water mark into hw (typically a handle
+// from the global telemetry registry, so live runs expose their peak space
+// over /debug/vars and the run journal). A nil hw detaches; the mirror is
+// only touched when the peak rises, so the per-Charge cost is a nil check.
+func (m *Meter) Attach(hw *telemetry.HighWater) {
+	m.hw = hw
+	if m.peak > 0 {
+		hw.Observe(m.peak)
+	}
 }
 
 // Charge adds w words of live state (w may be negative to release).
@@ -17,6 +31,7 @@ func (m *Meter) Charge(w int64) {
 	m.live += w
 	if m.live > m.peak {
 		m.peak = m.live
+		m.hw.Observe(m.peak)
 	}
 }
 

@@ -1,6 +1,10 @@
 package space
 
-import "testing"
+import (
+	"testing"
+
+	"adjstream/internal/telemetry"
+)
 
 func TestMeterChargeRelease(t *testing.T) {
 	var m Meter
@@ -41,5 +45,32 @@ func TestObjectSizesPositive(t *testing.T) {
 		if w <= 0 {
 			t.Fatalf("non-positive object size %d", w)
 		}
+	}
+}
+
+func TestMeterAttachMirrorsHighWater(t *testing.T) {
+	r := telemetry.NewRegistry()
+	hw := r.HighWater("m")
+	var m Meter
+	m.Charge(5)
+	// Attaching after the fact reports the peak reached so far.
+	m.Attach(hw)
+	if hw.Value() != 5 {
+		t.Fatalf("attach did not report existing peak: %d", hw.Value())
+	}
+	m.Charge(10)
+	m.Charge(-12)
+	m.Charge(4)
+	if m.Peak() != 15 || hw.Value() != 15 {
+		t.Fatalf("peak=%d mirror=%d, want 15/15", m.Peak(), hw.Value())
+	}
+	// A detached meter (nil handle) keeps working.
+	m.Attach(nil)
+	m.Charge(100)
+	if m.Peak() != 107 {
+		t.Fatalf("peak=%d after detach", m.Peak())
+	}
+	if hw.Value() != 15 {
+		t.Fatalf("detached mirror moved: %d", hw.Value())
 	}
 }

@@ -3,6 +3,7 @@ package stream
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"adjstream/internal/graph"
 	"adjstream/internal/stats"
@@ -93,6 +94,40 @@ func (s *DriverStats) Merge(other DriverStats) {
 	}
 }
 
+// driverCounters is the in-flight form of DriverStats. During a broadcast
+// pass the producer and the shard workers update it concurrently — the
+// producer owns reads/batches/queue depth, each worker counts the
+// deliveries to its own shard — so every field is atomic. DriverStats
+// itself stays a plain snapshot struct for the public API.
+type driverCounters struct {
+	streamItemsRead atomic.Int64
+	itemsDelivered  atomic.Int64
+	batches         atomic.Int64
+	peakQueueDepth  atomic.Int64
+}
+
+// observeQueueDepth raises the peak backlog to d if it exceeds it.
+func (c *driverCounters) observeQueueDepth(d int64) {
+	for {
+		cur := c.peakQueueDepth.Load()
+		if d <= cur || c.peakQueueDepth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// snapshot freezes the counters into the public stats form.
+func (c *driverCounters) snapshot(copies, passes int) DriverStats {
+	return DriverStats{
+		Copies:          copies,
+		Passes:          passes,
+		StreamItemsRead: c.streamItemsRead.Load(),
+		ItemsDelivered:  c.itemsDelivered.Load(),
+		Batches:         c.batches.Load(),
+		PeakQueueDepth:  int(c.peakQueueDepth.Load()),
+	}
+}
+
 // RunBroadcast drives every estimator over s reading the stream once per
 // pass (not once per copy per pass). Results are identical to calling Run
 // on each estimator separately. Copies may disagree on pass count; each
@@ -105,9 +140,8 @@ func RunBroadcast(s *Stream, ests []Estimator) {
 // the driver counters for the run.
 func RunBroadcastConfig(s *Stream, ests []Estimator, cfg BroadcastConfig) DriverStats {
 	cfg = cfg.withDefaults()
-	st := DriverStats{Copies: len(ests)}
 	if len(ests) == 0 {
-		return st
+		return DriverStats{}
 	}
 	maxPasses := 0
 	for _, e := range ests {
@@ -115,7 +149,8 @@ func RunBroadcastConfig(s *Stream, ests []Estimator, cfg BroadcastConfig) Driver
 			maxPasses = p
 		}
 	}
-	st.Passes = maxPasses
+	var dc driverCounters
+	tt := teleForDriver("broadcast")
 	for p := 0; p < maxPasses; p++ {
 		active := ests[:0:0]
 		for _, e := range ests {
@@ -123,8 +158,14 @@ func RunBroadcastConfig(s *Stream, ests []Estimator, cfg BroadcastConfig) Driver
 				active = append(active, e)
 			}
 		}
-		broadcastPass(s, active, p, cfg, &st)
+		start := tt.startPass()
+		broadcastPass(s, active, p, cfg, &dc)
+		tt.endPass(start, int64(len(s.items)), int64(len(s.items))*int64(len(active)))
 	}
+	tt.copies.Add(int64(len(ests)))
+	st := dc.snapshot(len(ests), maxPasses)
+	tt.batches.Add(st.Batches)
+	tt.queueDepth.Observe(int64(st.PeakQueueDepth))
 	return st
 }
 
@@ -132,7 +173,7 @@ func RunBroadcastConfig(s *Stream, ests []Estimator, cfg BroadcastConfig) Driver
 // pool of workers (each owning a contiguous shard of the active copies)
 // consumes batches and replays the item-at-a-time callback protocol of
 // runPass for every copy in its shard.
-func broadcastPass(s *Stream, active []Estimator, p int, cfg BroadcastConfig, st *DriverStats) {
+func broadcastPass(s *Stream, active []Estimator, p int, cfg BroadcastConfig, dc *driverCounters) {
 	if len(active) == 0 {
 		return
 	}
@@ -150,10 +191,12 @@ func broadcastPass(s *Stream, active []Estimator, p int, cfg BroadcastConfig, st
 		wg.Add(1)
 		go func(shard []Estimator, ch <-chan []Item) {
 			defer wg.Done()
-			runShardPass(shard, p, ch)
+			// Each worker counts the deliveries to its own shard.
+			dc.itemsDelivered.Add(runShardPass(shard, p, ch))
 		}(active[lo:hi], ch)
 	}
 	items := s.items
+	var batches int64
 	for i := 0; i < len(items); i += cfg.BatchSize {
 		j := i + cfg.BatchSize
 		if j > len(items) {
@@ -163,19 +206,17 @@ func broadcastPass(s *Stream, active []Estimator, p int, cfg BroadcastConfig, st
 		for _, ch := range chans {
 			// The producer is the only sender, so len(ch) at send
 			// time is an exact backlog measurement.
-			if d := len(ch); d > st.PeakQueueDepth {
-				st.PeakQueueDepth = d
-			}
+			dc.observeQueueDepth(int64(len(ch)))
 			ch <- batch
-			st.Batches++
+			batches++
 		}
 	}
 	for _, ch := range chans {
 		close(ch)
 	}
 	wg.Wait()
-	st.StreamItemsRead += int64(len(items))
-	st.ItemsDelivered += int64(len(items)) * int64(len(active))
+	dc.batches.Add(batches)
+	dc.streamItemsRead.Add(int64(len(items)))
 }
 
 // shardBounds splits n copies across k workers into contiguous ranges.
@@ -185,16 +226,18 @@ func shardBounds(n, k, w int) (lo, hi int) {
 	return lo, hi
 }
 
-// runShardPass replays pass p to every estimator in shard from batches.
-// List-boundary detection is done once per batch position and fanned out,
-// mirroring runPass exactly for each copy.
-func runShardPass(shard []Estimator, p int, ch <-chan []Item) {
+// runShardPass replays pass p to every estimator in shard from batches and
+// returns the number of callback deliveries it performed. List-boundary
+// detection is done once per batch position and fanned out, mirroring
+// runPass exactly for each copy.
+func runShardPass(shard []Estimator, p int, ch <-chan []Item) (delivered int64) {
 	for _, e := range shard {
 		e.StartPass(p)
 	}
 	inList := false
 	var cur graph.V
 	for batch := range ch {
+		delivered += int64(len(batch)) * int64(len(shard))
 		for _, it := range batch {
 			if !inList || it.Owner != cur {
 				if inList {
@@ -221,6 +264,7 @@ func runShardPass(shard []Estimator, p int, ch <-chan []Item) {
 	for _, e := range shard {
 		e.EndPass(p)
 	}
+	return delivered
 }
 
 // MedianBroadcast drives the copies with the broadcast driver and returns

@@ -28,9 +28,13 @@ type Algorithm interface {
 // Run replays s once per pass of a. Every pass sees the identical order, the
 // setting required by the paper's two-pass triangle algorithm.
 func Run(s *Stream, a Algorithm) {
+	tt := teleForDriver("run")
 	for p := 0; p < a.Passes(); p++ {
+		start := tt.startPass()
 		runPass(s, a, p)
+		tt.endPass(start, int64(len(s.items)), int64(len(s.items)))
 	}
+	tt.copies.Add(1)
 }
 
 // RunOrders drives a with a (possibly) different stream per pass. All
@@ -47,9 +51,13 @@ func RunOrders(streams []*Stream, a Algorithm) error {
 			return fmt.Errorf("stream: pass %d has m=%d, pass 0 has m=%d", i, streams[i].M(), streams[0].M())
 		}
 	}
+	tt := teleForDriver("run")
 	for p := 0; p < a.Passes(); p++ {
+		start := tt.startPass()
 		runPass(streams[p], a, p)
+		tt.endPass(start, int64(len(streams[p].items)), int64(len(streams[p].items)))
 	}
+	tt.copies.Add(1)
 	return nil
 }
 

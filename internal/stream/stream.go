@@ -1,13 +1,3 @@
-// Package stream implements the adjacency list streaming model of the paper:
-// the input graph arrives as a sequence of ordered pairs (owner, neighbor);
-// every edge {u,v} appears exactly twice, once in each endpoint's adjacency
-// list; and all pairs sharing an owner are contiguous. Within a list, and
-// across lists, the order is arbitrary (adversarial) unless a random order
-// is requested explicitly.
-//
-// The package provides stream construction from a graph under controllable
-// orders, validation of the model's promise, a multi-pass driver with
-// item-at-a-time callbacks, and a text serialization.
 package stream
 
 import (

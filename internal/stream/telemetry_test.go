@@ -1,0 +1,137 @@
+package stream
+
+// Tests for the driver counters (now atomics shared between the broadcast
+// producer and its shard workers) and for the driver telemetry. These run
+// under `make race` / the race CI job, which is what actually asserts that
+// the producer/worker counter sharing is sound.
+
+import (
+	"sync"
+	"testing"
+
+	"adjstream/internal/telemetry"
+)
+
+// TestDriverStatsAtomicCounters drives many concurrent broadcast runs over
+// the same stream and checks every run's counters exactly. Workers count
+// their own deliveries, the producer counts reads and batches; under -race
+// this test is the assertion that the sharing is data-race-free.
+func TestDriverStatsAtomicCounters(t *testing.T) {
+	g := randomGraph(40, 0.2, 11)
+	s := Random(g, 7)
+	const runs, k = 8, 16
+	cfg := BroadcastConfig{BatchSize: 64, Workers: 4, QueueDepth: 2}
+	var wg sync.WaitGroup
+	stats := make([]DriverStats, runs)
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ests := make([]Estimator, k)
+			for i := range ests {
+				ests[i] = &sumEstimator{tracer: tracer{passes: 2}}
+			}
+			stats[r] = RunBroadcastConfig(s, ests, cfg)
+		}(r)
+	}
+	wg.Wait()
+	batchesPerPass := int64((s.Len() + cfg.BatchSize - 1) / cfg.BatchSize * cfg.Workers)
+	for r, st := range stats {
+		if st.Copies != k || st.Passes != 2 {
+			t.Fatalf("run %d: stats = %+v", r, st)
+		}
+		if want := int64(2 * s.Len()); st.StreamItemsRead != want {
+			t.Fatalf("run %d: StreamItemsRead = %d, want %d", r, st.StreamItemsRead, want)
+		}
+		if want := int64(2 * s.Len() * k); st.ItemsDelivered != want {
+			t.Fatalf("run %d: ItemsDelivered = %d, want %d", r, st.ItemsDelivered, want)
+		}
+		if want := 2 * batchesPerPass; st.Batches != want {
+			t.Fatalf("run %d: Batches = %d, want %d", r, st.Batches, want)
+		}
+	}
+}
+
+// TestDriverTelemetry checks the metrics both drivers report into a live
+// registry: read/delivery counters, pass counts and timings, copies.
+func TestDriverTelemetry(t *testing.T) {
+	defer telemetry.Disable()
+	r := telemetry.Enable()
+	r.Reset()
+	g := randomGraph(30, 0.2, 3)
+	s := Random(g, 5)
+
+	e := &sumEstimator{tracer: tracer{passes: 2}}
+	Run(s, e)
+	snap := r.Snapshot()
+	if got := snap["driver.run.items_read"]; got != float64(2*s.Len()) {
+		t.Fatalf("run items_read = %v, want %d", got, 2*s.Len())
+	}
+	if got := snap["driver.run.passes"]; got != 2 {
+		t.Fatalf("run passes = %v", got)
+	}
+	if got := snap["driver.run.copies"]; got != 1 {
+		t.Fatalf("run copies = %v", got)
+	}
+	if got := snap["driver.run.pass_ns.count"]; got != 2 {
+		t.Fatalf("pass_ns count = %v", got)
+	}
+
+	const k = 6
+	ests := make([]Estimator, k)
+	for i := range ests {
+		ests[i] = &sumEstimator{tracer: tracer{passes: 2}}
+	}
+	st := RunBroadcastConfig(s, ests, BroadcastConfig{BatchSize: 32, Workers: 3})
+	snap = r.Snapshot()
+	if got := snap["driver.broadcast.items_read"]; got != float64(st.StreamItemsRead) {
+		t.Fatalf("broadcast items_read = %v, want %d", got, st.StreamItemsRead)
+	}
+	if got := snap["driver.broadcast.items_delivered"]; got != float64(st.ItemsDelivered) {
+		t.Fatalf("broadcast items_delivered = %v, want %d", got, st.ItemsDelivered)
+	}
+	if got := snap["driver.broadcast.batches"]; got != float64(st.Batches) {
+		t.Fatalf("broadcast batches = %v, want %d", got, st.Batches)
+	}
+	if got := snap["driver.broadcast.copies"]; got != k {
+		t.Fatalf("broadcast copies = %v", got)
+	}
+	if snap["driver.broadcast.items_per_sec"] <= 0 {
+		t.Fatal("items_per_sec not set")
+	}
+}
+
+// TestBroadcastTelemetryConcurrent has several broadcast runs reporting
+// into one shared registry at once (the -listen scenario); totals must add
+// up and, under -race, the shared handles must be clean.
+func TestBroadcastTelemetryConcurrent(t *testing.T) {
+	defer telemetry.Disable()
+	r := telemetry.Enable()
+	r.Reset()
+	g := randomGraph(30, 0.2, 9)
+	s := Random(g, 1)
+	const runs, k = 6, 8
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ests := make([]Estimator, k)
+			for j := range ests {
+				ests[j] = &sumEstimator{tracer: tracer{passes: 2}}
+			}
+			RunBroadcastConfig(s, ests, BroadcastConfig{BatchSize: 128, Workers: 2})
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if want := float64(runs * 2 * s.Len()); snap["driver.broadcast.items_read"] != want {
+		t.Fatalf("items_read = %v, want %v", snap["driver.broadcast.items_read"], want)
+	}
+	if want := float64(runs * k * 2 * s.Len()); snap["driver.broadcast.items_delivered"] != want {
+		t.Fatalf("items_delivered = %v, want %v", snap["driver.broadcast.items_delivered"], want)
+	}
+	if want := float64(runs * k); snap["driver.broadcast.copies"] != want {
+		t.Fatalf("copies = %v, want %v", snap["driver.broadcast.copies"], want)
+	}
+}

@@ -1,0 +1,57 @@
+package telemetry_test
+
+import (
+	"fmt"
+
+	"adjstream/internal/telemetry"
+)
+
+// Example shows the whole lifecycle: enable the global registry, report
+// into it from instrumented code (here inlined), and snapshot it — the
+// same snapshot the JSONL run journal records and /debug/vars serves.
+func Example() {
+	r := telemetry.Enable()
+	defer telemetry.Disable()
+
+	r.Counter("stream.items_read").Add(2048)
+	r.Gauge("core.sampled_edges").Set(117)
+	r.HighWater("core.space_words").Observe(950)
+	r.HighWater("core.space_words").Observe(720) // below the mark: ignored
+
+	fmt.Println("items read:", r.Counter("stream.items_read").Value())
+	fmt.Println("occupancy: ", r.Gauge("core.sampled_edges").Value())
+	fmt.Println("peak words:", r.HighWater("core.space_words").Value())
+	// Output:
+	// items read: 2048
+	// occupancy:  117
+	// peak words: 950
+}
+
+// ExampleHistogram records a distribution (per-pass wall times, say) and
+// reads its streaming summary.
+func ExampleHistogram() {
+	r := telemetry.NewRegistry()
+	h := r.Histogram("stream.pass_ns")
+	for _, d := range []int64{100, 120, 110, 4000} {
+		h.Observe(d)
+	}
+	fmt.Println("passes:", h.Count())
+	fmt.Println("total: ", h.Sum())
+	fmt.Println("mean:  ", h.Mean())
+	// Output:
+	// passes: 4
+	// total:  4330
+	// mean:   1082.5
+}
+
+// ExampleRegistry_disabled shows the nil fast path: with no registry
+// installed, handles are nil and every operation is a no-op — instrumented
+// code never needs its own enabled/disabled branch.
+func ExampleRegistry_disabled() {
+	telemetry.Disable()
+	c := telemetry.Global().Counter("stream.items_read") // nil handle
+	c.Add(1024)                                          // no-op
+	fmt.Println("disabled read:", c.Value())
+	// Output:
+	// disabled read: 0
+}

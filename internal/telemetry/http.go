@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// The live-inspection endpoint: the global registry published as an expvar
+// variable next to Go's standard memstats/cmdline vars, plus the pprof
+// profile handlers — everything a long sweep needs for "what is it doing
+// right now" without stopping the run.
+
+// publishOnce guards the process-global expvar registration (expvar.Publish
+// panics on duplicate names).
+var publishOnce sync.Once
+
+// publishExpvar exposes the global registry's snapshot as the expvar
+// variable "adjstream". The closure reads Global() at request time, so the
+// published variable tracks Enable/Disable.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("adjstream", expvar.Func(func() any {
+			return Global().Snapshot()
+		}))
+	})
+}
+
+// Handler returns an http.Handler serving the observability surface:
+//
+//	/debug/vars         — expvar JSON (includes the "adjstream" registry snapshot)
+//	/debug/pprof/...    — the standard pprof index, profile, symbol, trace
+func Handler() http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "adjstream telemetry: see /debug/vars and /debug/pprof/")
+	})
+	return mux
+}
+
+// Listen binds addr (e.g. "localhost:6060"), serves Handler on it in a
+// background goroutine, and returns the bound listener so the caller can
+// report the actual address and close it on shutdown. The global registry
+// is enabled as a side effect — a listener with nothing to show is useless.
+func Listen(addr string) (net.Listener, error) {
+	Enable()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	go func() {
+		// Serve returns when the listener closes; nothing to report.
+		_ = http.Serve(ln, Handler())
+	}()
+	return ln, nil
+}

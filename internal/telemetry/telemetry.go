@@ -1,0 +1,403 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a named collection of metrics. Handles returned by Counter,
+// Gauge, HighWater, and Histogram are stable for the life of the registry:
+// instrumented code looks a handle up once (per run, per construction) and
+// then updates it with plain atomic operations, so the steady-state cost of
+// an enabled metric is one atomic RMW and the cost of a disabled one is a
+// nil check.
+//
+// All methods are safe on a nil *Registry: lookups return nil handles and
+// every handle method is a no-op on a nil receiver. This is the disabled
+// fast path — code instruments unconditionally and pays (almost) nothing
+// when no registry is installed.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	highWaters map[string]*HighWater
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		highWaters: make(map[string]*HighWater),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// global is the process-wide registry consulted by instrumented packages.
+// nil (the default) disables telemetry.
+var global atomic.Pointer[Registry]
+
+// Enable installs (or returns the already-installed) global registry.
+func Enable() *Registry {
+	for {
+		if r := global.Load(); r != nil {
+			return r
+		}
+		r := NewRegistry()
+		if global.CompareAndSwap(nil, r) {
+			return r
+		}
+	}
+}
+
+// Disable removes the global registry; subsequent Global calls return nil
+// and all instrumentation reverts to the disabled fast path.
+func Disable() { global.Store(nil) }
+
+// Global returns the installed registry, or nil when telemetry is disabled.
+// The cost of a disabled call is one atomic pointer load.
+func Global() *Registry { return global.Load() }
+
+// Counter returns the named monotonic counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named last-value gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// HighWater returns the named high-water mark, creating it on first use.
+func (r *Registry) HighWater(name string) *HighWater {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.highWaters[name]
+	if !ok {
+		h = &HighWater{}
+		r.highWaters[name] = h
+	}
+	return h
+}
+
+// Histogram returns the named streaming histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every metric in the registry (handles stay valid — resetting
+// does not invalidate pointers held by instrumented code).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.highWaters {
+		h.v.Store(0)
+	}
+	for _, h := range r.histograms {
+		h.reset()
+	}
+}
+
+// Snapshot returns a point-in-time flat view of every metric. Counters,
+// gauges, and high-water marks appear under their own name; a histogram h
+// expands to h.count, h.sum, h.mean, h.min, h.max, h.p50, h.p90, and h.p99
+// (quantiles are upper bucket bounds of the log₂ sketch, exact to a factor
+// of 2). The map is detached from the registry.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64)
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = float64(g.Value())
+	}
+	for name, h := range r.highWaters {
+		out[name] = float64(h.Value())
+	}
+	for name, h := range r.histograms {
+		for suffix, v := range h.stats() {
+			out[name+"."+suffix] = v
+		}
+	}
+	return out
+}
+
+// Names returns the sorted names of every registered metric (histograms
+// once, without their expansion suffixes).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	for name := range r.gauges {
+		out = append(out, name)
+	}
+	for name := range r.highWaters {
+		out = append(out, name)
+	}
+	for name := range r.histograms {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins instantaneous measurement.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last stored value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HighWater tracks the maximum value ever observed.
+type HighWater struct{ v atomic.Int64 }
+
+// Observe raises the mark to v if v exceeds it. No-op on a nil receiver.
+func (h *HighWater) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	for {
+		cur := h.v.Load()
+		if v <= cur || h.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the high-water mark (0 on a nil receiver).
+func (h *HighWater) Value() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.v.Load()
+}
+
+// histBuckets is the number of log₂ buckets: bucket i counts observations
+// v with 2^(i-1) < v ≤ 2^i (bucket 0 counts v ≤ 1), so 64 buckets cover
+// the full positive int64 range.
+const histBuckets = 64
+
+// Histogram is a streaming log₂-bucketed histogram of non-negative values
+// (typically nanosecond durations or sizes). Observation is lock-free: one
+// atomic add into a bucket plus sum/count/min/max maintenance.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf returns the log₂ bucket index of v.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := 0
+	for x := v - 1; x > 0; x >>= 1 {
+		b++
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value. Negative values are clamped to zero. No-op on
+// a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	if h.count.Add(1) == 1 {
+		h.min.Store(v)
+	} else {
+		for {
+			cur := h.min.Load()
+			if v >= cur || h.min.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]) from the
+// log₂ sketch: the bound of the bucket containing the q·count-th
+// observation, exact to a factor of 2. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(n-1)) + 1
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 1
+			}
+			return int64(1) << uint(i)
+		}
+	}
+	return h.max.Load()
+}
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// stats returns the Snapshot expansion of the histogram.
+func (h *Histogram) stats() map[string]float64 {
+	n := h.count.Load()
+	out := map[string]float64{
+		"count": float64(n),
+		"sum":   float64(h.sum.Load()),
+	}
+	if n > 0 {
+		out["mean"] = float64(h.sum.Load()) / float64(n)
+		out["min"] = float64(h.min.Load())
+		out["max"] = float64(h.max.Load())
+		out["p50"] = float64(h.Quantile(0.50))
+		out["p90"] = float64(h.Quantile(0.90))
+		out["p99"] = float64(h.Quantile(0.99))
+	}
+	return out
+}

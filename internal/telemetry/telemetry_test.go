@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHighWater(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("counter handle not stable")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Set(4)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	h := r.HighWater("h")
+	h.Observe(5)
+	h.Observe(3)
+	h.Observe(9)
+	if got := h.Value(); got != 9 {
+		t.Fatalf("high water = %d, want 9", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// Every lookup on a nil registry must return a nil handle, and every
+	// handle method must no-op on it — this is the disabled fast path.
+	r.Counter("x").Add(1)
+	r.Gauge("x").Set(1)
+	r.HighWater("x").Observe(1)
+	r.Histogram("x").Observe(1)
+	r.Reset()
+	if r.Snapshot() != nil || r.Names() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	if r.Counter("x").Value() != 0 || r.Histogram("x").Quantile(0.5) != 0 {
+		t.Fatal("nil handles should read as zero")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t")
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 500500 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if m := h.Mean(); m != 500.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Log₂ sketch: quantiles are exact to a factor of 2.
+	if q := h.Quantile(0.5); q < 500 || q > 1024 {
+		t.Fatalf("p50 = %d, want within [500, 1024]", q)
+	}
+	if q := h.Quantile(1); q < 1000 || q > 1024 {
+		t.Fatalf("p100 = %d, want within [1000, 1024]", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %d, want 1", q)
+	}
+	h.Observe(-5) // clamped to 0
+	if h.Quantile(0) != 1 {
+		t.Fatal("negative observation should clamp into the first bucket")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1 << 40, 40}}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(3)
+	r.HighWater("c").Observe(4)
+	r.Histogram("d").Observe(7)
+	snap := r.Snapshot()
+	for k, want := range map[string]float64{
+		"a": 2, "b": 3, "c": 4, "d.count": 1, "d.sum": 7, "d.mean": 7,
+	} {
+		if snap[k] != want {
+			t.Errorf("snapshot[%q] = %v, want %v", k, snap[k], want)
+		}
+	}
+	names := r.Names()
+	if len(names) != 4 || names[0] != "a" || names[3] != "d" {
+		t.Fatalf("names = %v", names)
+	}
+	// Reset zeroes values but keeps handles registered and valid.
+	c := r.Counter("a")
+	r.Reset()
+	if c.Value() != 0 || r.Histogram("d").Count() != 0 {
+		t.Fatal("reset did not zero metrics")
+	}
+	c.Add(1)
+	if r.Snapshot()["a"] != 1 {
+		t.Fatal("handle dead after reset")
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("n").Add(1)
+				r.HighWater("hw").Observe(int64(w*each + i))
+				r.Histogram("h").Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if got := r.HighWater("hw").Value(); got != workers*each-1 {
+		t.Fatalf("high water = %d, want %d", got, workers*each-1)
+	}
+	if got := r.Histogram("h").Count(); got != workers*each {
+		t.Fatalf("histogram count = %d, want %d", got, workers*each)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Disable()
+	Disable()
+	if Global() != nil {
+		t.Fatal("global registry should start nil")
+	}
+	r := Enable()
+	if r == nil || Global() != r || Enable() != r {
+		t.Fatal("Enable should install one stable registry")
+	}
+	Disable()
+	if Global() != nil {
+		t.Fatal("Disable should clear the registry")
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	defer Disable()
+	r := Enable()
+	r.Counter("stream.test_metric").Add(42)
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Adjstream map[string]float64 `json:"adjstream"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Adjstream["stream.test_metric"] != 42 {
+		t.Fatalf("expvar snapshot = %v", vars.Adjstream)
+	}
+	// The pprof index must be mounted too.
+	resp2, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp2.StatusCode)
+	}
+}
+
+// BenchmarkDisabledCounter measures the disabled fast path: one atomic
+// pointer load (Global) plus nil-receiver method calls.
+func BenchmarkDisabledCounter(b *testing.B) {
+	Disable()
+	for i := 0; i < b.N; i++ {
+		Global().Counter("x").Add(1)
+	}
+}
+
+// BenchmarkDisabledHandle measures the steady-state disabled cost when the
+// nil handle is already cached, as instrumented hot paths do.
+func BenchmarkDisabledHandle(b *testing.B) {
+	Disable()
+	c := Global().Counter("x")
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkEnabledCounter measures the enabled steady state with a cached
+// handle: one atomic add.
+func BenchmarkEnabledCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkEnabledHistogram measures one histogram observation.
+func BenchmarkEnabledHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xffff))
+	}
+}
