@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-json journal-smoke cover all
+.PHONY: build test race vet bench bench-smoke bench-json journal-smoke serve-smoke cover all
 
 all: build vet test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/stream/... ./internal/core/... ./internal/graph/... ./internal/telemetry/...
+	$(GO) test -race . ./internal/stream/... ./internal/core/... ./internal/graph/... ./internal/telemetry/... ./internal/serve/... ./cmd/adjserved/...
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,13 @@ journal-smoke:
 	$(GO) run ./cmd/runjournal -check /tmp/journal-smoke.jsonl
 	$(GO) run ./cmd/runjournal -id F1 /tmp/journal-smoke.jsonl >/dev/null
 	@rm -f /tmp/journal-smoke.jsonl
+
+# End-to-end service smoke: boot adjserved on an ephemeral port with the
+# demo catalog, hit every endpoint with curl-equivalent requests, and shut
+# it down with SIGTERM — the same drain path a deployment exercises.
+serve-smoke:
+	$(GO) test -race -run 'TestServeEndToEnd' ./cmd/adjserved/
+	$(GO) vet ./internal/serve/ ./cmd/adjserved/
 
 # Full benchmark run archived as machine-readable JSON (see cmd/bench2json).
 bench-json:

@@ -32,6 +32,8 @@
 package adjstream
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -224,23 +226,16 @@ type Result struct {
 	DriverStats DriverStats
 }
 
-func (o Options) copies() (int, error) {
-	if o.Copies > 0 && o.Confidence > 0 {
-		return 0, fmt.Errorf("adjstream: set at most one of Copies and Confidence")
-	}
+// copies resolves the copy count of validated options (call Validate first:
+// Copies/Confidence conflicts and ranges are checked there).
+func (o Options) copies() int {
 	if o.Confidence > 0 {
-		if o.Confidence >= 1 {
-			return 0, fmt.Errorf("adjstream: Confidence %v must be in (0,1)", o.Confidence)
-		}
-		return stats.CopiesForConfidence(1 - o.Confidence), nil
-	}
-	if o.Copies < 0 {
-		return 0, fmt.Errorf("adjstream: negative Copies %d", o.Copies)
+		return stats.CopiesForConfidence(1 - o.Confidence)
 	}
 	if o.Copies == 0 {
-		return 1, nil
+		return 1
 	}
-	return o.Copies, nil
+	return o.Copies
 }
 
 // newSingle builds one copy with the given seed.
@@ -288,30 +283,54 @@ func (o Options) newSingle(seed uint64) (Estimator, error) {
 		}
 		return baseline.NewExactStream(l)
 	case "":
-		return nil, fmt.Errorf("adjstream: Algorithm is required")
+		return nil, fmt.Errorf("%w: Algorithm is required", ErrInvalidOptions)
 	default:
-		return nil, fmt.Errorf("adjstream: unknown algorithm %q", o.Algorithm)
+		return nil, fmt.Errorf("%w %q", ErrUnknownAlgorithm, o.Algorithm)
 	}
 }
 
-// NewEstimator builds the configured estimator (with median amplification
-// when Copies/Confidence ask for it). Drive it with RunStream or the
-// internal stream driver.
-func NewEstimator(opts Options) (Estimator, error) {
-	c, err := opts.copies()
+// wrapSingle invokes newSingle and folds constructor rejections (budget
+// rules the estimators enforce themselves) into ErrInvalidOptions.
+func (o Options) wrapSingle(seed uint64) (Estimator, error) {
+	e, err := o.newSingle(seed)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, ErrInvalidOptions) || errors.Is(err, ErrUnknownAlgorithm) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
 	}
-	if c == 1 {
-		return opts.newSingle(opts.Seed)
-	}
+	return e, nil
+}
+
+// buildCopies constructs c independent copies with the deterministic
+// per-copy seed schedule (copy i gets Seed + i·0x9e37_79b9 + 1).
+func (o Options) buildCopies(c int) ([]Estimator, error) {
 	copies := make([]Estimator, c)
 	for i := range copies {
-		e, err := opts.newSingle(opts.Seed + uint64(i)*0x9e37_79b9 + 1)
+		e, err := o.wrapSingle(o.Seed + uint64(i)*0x9e37_79b9 + 1)
 		if err != nil {
 			return nil, err
 		}
 		copies[i] = e
+	}
+	return copies, nil
+}
+
+// NewEstimator builds the configured estimator (with median amplification
+// when Copies/Confidence ask for it). Drive it with RunStream or the
+// internal stream driver. Errors wrap ErrUnknownAlgorithm or
+// ErrInvalidOptions.
+func NewEstimator(opts Options) (Estimator, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	c := opts.copies()
+	if c == 1 {
+		return opts.wrapSingle(opts.Seed)
+	}
+	copies, err := opts.buildCopies(c)
+	if err != nil {
+		return nil, err
 	}
 	return stream.NewMedian(copies...), nil
 }
@@ -319,79 +338,200 @@ func NewEstimator(opts Options) (Estimator, error) {
 // RunStream drives e over s (all passes, identical order per pass).
 func RunStream(s *Stream, e Estimator) { stream.Run(s, e) }
 
+// RunStreamContext is RunStream with cooperative cancellation: the pass loop
+// polls ctx at block boundaries and, once ctx fires, abandons the run and
+// returns an error wrapping ErrCanceled (and the context's own error). e's
+// state is unspecified after a cancelled run. With a context that never
+// fires, the delivered callback sequence is exactly that of RunStream.
+func RunStreamContext(ctx context.Context, s *Stream, e Estimator) error {
+	if err := stream.RunContext(ctx, s, e); err != nil {
+		return canceled(err)
+	}
+	return nil
+}
+
 // Distinguish answers the paper's decision problem — does the stream's
-// graph contain any cycles of the given length, or none? — using the
+// graph contain any cycles of the given length, or none? — with a single
+// sequential copy. sampleSize is the edge budget for the sublinear cases
+// (0 defaults to m/4-level budgets via SampleProb 0.25). It is the
+// backward-compatible wrapper over DistinguishContext, which additionally
+// honors Copies, Confidence, Parallel, and Driver.
+func Distinguish(s *Stream, cycleLen int, sampleSize int, seed uint64) (found bool, res Result, err error) {
+	return DistinguishContext(context.Background(), s, cycleLen, Options{SampleSize: sampleSize, Seed: seed})
+}
+
+// DistinguishContext answers the decision problem under ctx using the
 // sublinear distinguishers where they exist: the two-pass Θ(m/T^{2/3})
 // triangle distinguisher (Table 1 row 5) for cycleLen 3, the two-pass
 // Θ(m/T^{3/8}) estimator for cycleLen 4, and the exact O(m) counter for
 // cycleLen ≥ 5 (where Theorem 5.5 rules out anything sublinear).
-// sampleSize is the edge budget for the sublinear cases (0 defaults to
-// m/4-level budgets via SampleProb 0.25).
-func Distinguish(s *Stream, cycleLen int, sampleSize int, seed uint64) (found bool, res Result, err error) {
-	var opts Options
+//
+// The algorithm (and, for cycleLen ≥ 5, the cycle length) is derived from
+// cycleLen, so opts.Algorithm and opts.CycleLen must be zero. Every other
+// option behaves exactly as in EstimateContext — in particular Copies,
+// Confidence, Parallel, and Driver run the distinguisher through the same
+// copies/driver path as Estimate, amplifying the decision by median. When
+// neither SampleSize nor SampleProb is set for the sublinear cases, the
+// budget defaults to SampleProb 0.25. Cancellation surfaces as ErrCanceled.
+func DistinguishContext(ctx context.Context, s *Stream, cycleLen int, opts Options) (found bool, res Result, err error) {
+	if cycleLen < 3 {
+		return false, Result{}, fmt.Errorf("%w: cycle length %d < 3", ErrInvalidOptions, cycleLen)
+	}
+	if opts.Algorithm != "" {
+		return false, Result{}, fmt.Errorf("%w: Distinguish derives Algorithm from cycleLen; leave it empty", ErrInvalidOptions)
+	}
+	if opts.CycleLen != 0 {
+		return false, Result{}, fmt.Errorf("%w: Distinguish derives CycleLen from cycleLen; leave it zero", ErrInvalidOptions)
+	}
 	switch {
 	case cycleLen == 3:
-		opts = Options{Algorithm: AlgoNaiveTwoPass, SampleSize: sampleSize, Seed: seed}
+		opts.Algorithm = AlgoNaiveTwoPass
 	case cycleLen == 4:
-		opts = Options{Algorithm: AlgoTwoPassFourCycle, SampleSize: sampleSize, Seed: seed}
-	case cycleLen >= 5:
-		opts = Options{Algorithm: AlgoExact, CycleLen: cycleLen, Seed: seed}
+		opts.Algorithm = AlgoTwoPassFourCycle
 	default:
-		return false, Result{}, fmt.Errorf("adjstream: cycle length %d < 3", cycleLen)
+		opts.Algorithm = AlgoExact
+		opts.CycleLen = cycleLen
+		opts.SampleSize, opts.SampleProb = 0, 0
 	}
-	if sampleSize == 0 && cycleLen < 5 {
-		opts.SampleSize = 0
+	if cycleLen < 5 && opts.SampleSize == 0 && opts.SampleProb == 0 {
 		opts.SampleProb = 0.25
 	}
-	e, err := NewEstimator(opts)
+	res, err = EstimateContext(ctx, s, opts)
 	if err != nil {
 		return false, Result{}, err
-	}
-	stream.Run(s, e)
-	res = Result{
-		Estimate:   e.Estimate(),
-		SpaceWords: e.SpaceWords(),
-		Passes:     e.Passes(),
-		M:          s.M(),
-		Copies:     1,
 	}
 	return res.Estimate > 0, res, nil
 }
 
 // LocalEstimate runs the two-pass semi-streaming local triangle estimator
-// (per-vertex counts) at edge-sampling probability p and returns the local
-// estimates together with run metadata. With p = 1 the counts are exact.
+// (per-vertex counts) at edge-sampling probability p with one sequential
+// copy and returns the local estimates together with run metadata. With
+// p = 1 the counts are exact. It is the backward-compatible wrapper over
+// LocalEstimateContext, which additionally honors Copies, Confidence,
+// Parallel, and Driver.
 func LocalEstimate(s *Stream, p float64, seed uint64) (map[V]float64, Result, error) {
-	alg, err := baseline.NewLocalTriangles(p, seed)
-	if err != nil {
+	return LocalEstimateContext(context.Background(), s, p, Options{Seed: seed})
+}
+
+// LocalEstimateContext runs the local triangle estimator under ctx through
+// the same copies/driver path as EstimateContext: Copies/Confidence select
+// k independent copies (per-copy seeds on the standard schedule), Parallel
+// and Driver choose how they traverse the stream, the returned map is the
+// per-vertex median across copies (a vertex untouched by a copy counts as
+// 0 there), Result.Estimate is the median of the copies' global estimates,
+// and Result.SpaceWords their summed peaks. The algorithm is fixed, so
+// opts.Algorithm must be empty, and the sampling probability is the p
+// argument — opts.SampleSize/SampleProb/PairCap/CycleLen must be zero.
+// Cancellation surfaces as ErrCanceled.
+func LocalEstimateContext(ctx context.Context, s *Stream, p float64, opts Options) (map[V]float64, Result, error) {
+	if opts.Algorithm != "" {
+		return nil, Result{}, fmt.Errorf("%w: LocalEstimate has a fixed algorithm; leave Algorithm empty", ErrInvalidOptions)
+	}
+	if opts.SampleSize != 0 || opts.SampleProb != 0 || opts.PairCap != 0 || opts.CycleLen != 0 {
+		return nil, Result{}, fmt.Errorf("%w: LocalEstimate takes its sampling probability as the p argument; leave the Options budget fields zero", ErrInvalidOptions)
+	}
+	chk := opts
+	chk.Algorithm = AlgoExact // stand-in: validates driver/copies/ranges
+	if err := chk.Validate(); err != nil {
 		return nil, Result{}, err
 	}
-	stream.Run(s, alg)
-	res := Result{
-		Estimate:   alg.Estimate(),
-		SpaceWords: alg.SpaceWords(),
-		Passes:     alg.Passes(),
-		M:          s.M(),
-		Copies:     1,
+	c := opts.copies()
+	copies := make([]*baseline.LocalTriangles, c)
+	ests := make([]stream.Estimator, c)
+	for i := range copies {
+		seed := opts.Seed
+		if c > 1 {
+			seed = opts.Seed + uint64(i)*0x9e37_79b9 + 1
+		}
+		alg, err := baseline.NewLocalTriangles(p, seed)
+		if err != nil {
+			return nil, Result{}, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+		}
+		copies[i], ests[i] = alg, alg
 	}
-	return alg.Counts(), res, nil
+	var st DriverStats
+	var driver Driver
+	if opts.Parallel && c > 1 {
+		var err error
+		switch opts.Driver {
+		case DriverReplay:
+			driver = DriverReplay
+			if err = stream.RunParallelContext(ctx, s, ests); err == nil {
+				st = stream.ReplayStats(s, ests)
+			}
+		default: // DriverBroadcast or ""
+			driver = DriverBroadcast
+			st, err = stream.RunBroadcastContext(ctx, s, ests)
+		}
+		if err != nil {
+			return nil, Result{}, canceled(err)
+		}
+	} else {
+		for _, e := range ests {
+			if err := stream.RunContext(ctx, s, e); err != nil {
+				return nil, Result{}, canceled(err)
+			}
+		}
+	}
+	est, sp := stream.MedianOf(ests)
+	res := Result{
+		Estimate:    est,
+		SpaceWords:  sp,
+		Passes:      copies[0].Passes(),
+		M:           s.M(),
+		Copies:      c,
+		Driver:      driver,
+		DriverStats: st,
+	}
+	return localMedian(copies), res, nil
+}
+
+// localMedian combines per-copy local counts into the per-vertex median
+// map. A single copy's map is returned as-is (shared; do not modify).
+func localMedian(copies []*baseline.LocalTriangles) map[V]float64 {
+	if len(copies) == 1 {
+		return copies[0].Counts()
+	}
+	out := make(map[V]float64)
+	vals := make([]float64, len(copies))
+	for _, c := range copies {
+		for v := range c.Counts() {
+			if _, done := out[v]; done {
+				continue
+			}
+			for i, cc := range copies {
+				vals[i] = cc.Counts()[v] // 0 when the copy never touched v
+			}
+			out[v] = stats.Median(vals)
+		}
+	}
+	return out
 }
 
 // Estimate builds the estimator for opts, runs it over s, and reports the
-// result.
+// result. It is the backward-compatible wrapper over EstimateContext with a
+// context that never fires.
 func Estimate(s *Stream, opts Options) (Result, error) {
-	c, err := opts.copies()
-	if err != nil {
+	return EstimateContext(context.Background(), s, opts)
+}
+
+// EstimateContext builds the estimator for opts, runs it over s under ctx,
+// and reports the result. When ctx fires — cancellation, deadline expiry,
+// or client disconnect upstream — the pass loop stops at the next batch/
+// block boundary, all driver goroutines exit, and the call returns an error
+// wrapping ErrCanceled plus the context's own error. With a context that
+// never fires, the result is bit-identical to Estimate's for every
+// algorithm and driver. Option errors wrap ErrUnknownAlgorithm or
+// ErrInvalidOptions.
+func EstimateContext(ctx context.Context, s *Stream, opts Options) (Result, error) {
+	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
+	c := opts.copies()
 	if opts.Parallel && c > 1 {
-		copies := make([]Estimator, c)
-		for i := range copies {
-			e, err := opts.newSingle(opts.Seed + uint64(i)*0x9e37_79b9 + 1)
-			if err != nil {
-				return Result{}, err
-			}
-			copies[i] = e
+		copies, err := opts.buildCopies(c)
+		if err != nil {
+			return Result{}, err
 		}
 		var est float64
 		var sp int64
@@ -399,13 +539,16 @@ func Estimate(s *Stream, opts Options) (Result, error) {
 		driver := opts.Driver
 		switch driver {
 		case DriverReplay:
-			est, sp = stream.MedianReplay(s, copies)
-			st = stream.ReplayStats(s, copies)
-		case DriverBroadcast, "":
+			est, sp, err = stream.MedianReplayContext(ctx, s, copies)
+			if err == nil {
+				st = stream.ReplayStats(s, copies)
+			}
+		default: // DriverBroadcast or "" (Validate rejected everything else)
 			driver = DriverBroadcast
-			est, sp, st = stream.MedianBroadcast(s, copies)
-		default:
-			return Result{}, fmt.Errorf("adjstream: unknown driver %q", opts.Driver)
+			est, sp, st, err = stream.MedianBroadcastContext(ctx, s, copies)
+		}
+		if err != nil {
+			return Result{}, canceled(err)
 		}
 		return Result{
 			Estimate:    est,
@@ -421,7 +564,9 @@ func Estimate(s *Stream, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	stream.Run(s, e)
+	if err := stream.RunContext(ctx, s, e); err != nil {
+		return Result{}, canceled(err)
+	}
 	return Result{
 		Estimate:   e.Estimate(),
 		SpaceWords: e.SpaceWords(),

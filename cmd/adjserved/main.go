@@ -1,0 +1,193 @@
+// Command adjserved serves cycle-count estimates over HTTP: graphs are
+// loaded once into a catalog, and each request runs a library estimator
+// under a per-request deadline through a bounded worker pool.
+//
+// Usage:
+//
+//	adjserved -graphs ./data -listen localhost:8356
+//	adjserved -demo -workers 4 -queue 8
+//
+// API:
+//
+//	POST /v1/estimate     {"graph":"...","algorithm":"exact", ...}
+//	POST /v1/distinguish  {"graph":"...","cycle_len":3, ...}
+//	GET  /v1/graphs       catalog listing
+//	GET  /healthz         readiness (503 while draining)
+//
+// On SIGINT/SIGTERM the server drains: /healthz flips to 503 so load
+// balancers stop routing, new estimation work is rejected, in-flight
+// requests run to completion (bounded by -drain-timeout), and — with
+// -telemetry — the final metrics snapshot is written to stderr.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"adjstream"
+	"adjstream/internal/gen"
+	"adjstream/internal/serve"
+	"adjstream/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// loadDemo fills the catalog with small generated graphs so the server is
+// usable without any data files.
+func loadDemo(cat *serve.Catalog) error {
+	er, err := gen.ErdosRenyi(400, 0.05, 1)
+	if err != nil {
+		return err
+	}
+	for _, d := range []struct {
+		name string
+		g    *adjstream.Graph
+	}{
+		{"k16", gen.Complete(16)},
+		{"triangles64", gen.DisjointTriangles(64)},
+		{"fourcycles64", gen.DisjointFourCycles(64)},
+		{"er400", er},
+	} {
+		if _, err := cat.Add(d.name, d.g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSnapshot dumps the telemetry registry to w, sorted by metric name.
+func writeSnapshot(w io.Writer, reg *telemetry.Registry) {
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s\t%g\n", name, snap[name])
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("adjserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "localhost:8356", "service listen address")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts and tests)")
+	graphsDir := fs.String("graphs", "", "directory of *.edges / *.txt edge-list files to serve")
+	demo := fs.Bool("demo", false, "load built-in demo graphs (k16, triangles64, fourcycles64, er400)")
+	workers := fs.Int("workers", 0, "max concurrent estimations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", -1, "admitted requests waiting for a worker beyond the slots (-1 = 2x workers, 0 = reject immediately)")
+	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap on per-request deadlines")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	teleAddr := fs.String("telemetry", "", "also serve /debug/vars and /debug/pprof on this address, and dump a metrics snapshot on exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "adjserved: unexpected arguments:", fs.Args())
+		return 2
+	}
+	if *graphsDir == "" && !*demo {
+		fmt.Fprintln(stderr, "adjserved: no graphs to serve (use -graphs DIR and/or -demo)")
+		return 2
+	}
+
+	cat := serve.NewCatalog()
+	if *demo {
+		if err := loadDemo(cat); err != nil {
+			fmt.Fprintln(stderr, "adjserved:", err)
+			return 1
+		}
+	}
+	if *graphsDir != "" {
+		n, err := cat.LoadDir(*graphsDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "adjserved:", err)
+			return 1
+		}
+		if n == 0 && !*demo {
+			fmt.Fprintf(stderr, "adjserved: no edge-list files in %s\n", *graphsDir)
+			return 1
+		}
+	}
+
+	var reg *telemetry.Registry
+	if *teleAddr != "" {
+		ln, err := telemetry.Listen(*teleAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "adjserved:", err)
+			return 1
+		}
+		defer ln.Close()
+		reg = telemetry.Global()
+		fmt.Fprintf(stdout, "telemetry on http://%s/debug/vars\n", ln.Addr())
+	}
+
+	srv := serve.New(cat, serve.Config{
+		Workers:    *workers,
+		Queue:      *queue,
+		MaxTimeout: *maxTimeout,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(stderr, "adjserved:", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(stderr, "adjserved:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "serving %d graphs on http://%s (workers %d, queue %d)\n",
+		cat.Len(), ln.Addr(), srv.Pool().Workers(), srv.Pool().Queue())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "adjserved:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: fail readiness and reject new estimation work first, then
+	// wait for in-flight requests before closing connections.
+	fmt.Fprintln(stdout, "draining...")
+	srv.SetDraining(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.DrainWait(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "adjserved: drain timeout, aborting in-flight requests")
+		hs.Close()
+	} else if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "adjserved:", err)
+		hs.Close()
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+
+	if reg != nil {
+		fmt.Fprintln(stderr, "final telemetry snapshot:")
+		writeSnapshot(stderr, reg)
+	}
+	fmt.Fprintln(stdout, "bye")
+	return 0
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServer runs the binary's run() in a goroutine on an ephemeral port
+// and returns the bound base URL plus a channel carrying the exit code.
+func startServer(t *testing.T, extraArgs ...string) (baseURL string, done chan int, stdout, stderr *bytes.Buffer) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{
+		"-listen", "localhost:0",
+		"-addr-file", addrFile,
+		"-demo",
+		"-drain-timeout", "5s",
+	}, extraArgs...)
+	stdout, stderr = &bytes.Buffer{}, &bytes.Buffer{}
+	done = make(chan int, 1)
+	go func() { done <- run(args, stdout, stderr) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, err := os.ReadFile(addrFile)
+		if err == nil && len(b) > 0 {
+			return "http://" + string(b), done, stdout, stderr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never wrote addr file; stderr: %s", stderr)
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("server exited early with code %d; stderr: %s", code, stderr)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestServeEndToEnd boots the real binary, exercises the API over TCP, and
+// shuts it down with the signal path the deployment would use.
+func TestServeEndToEnd(t *testing.T) {
+	base, done, stdout, stderr := startServer(t, "-workers", "2")
+
+	// Readiness.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// Catalog: the demo graphs are present.
+	resp, err = http.Get(base + "/v1/graphs")
+	if err != nil {
+		t.Fatalf("GET /v1/graphs: %v", err)
+	}
+	var graphs struct {
+		Graphs []struct {
+			Name string `json:"name"`
+			M    int64  `json:"m"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&graphs); err != nil {
+		t.Fatalf("decode graphs: %v", err)
+	}
+	resp.Body.Close()
+	if len(graphs.Graphs) != 4 {
+		t.Fatalf("got %d demo graphs, want 4: %+v", len(graphs.Graphs), graphs)
+	}
+
+	// An exact count over the demo catalog: 64 disjoint triangles.
+	resp, err = http.Post(base+"/v1/estimate", "application/json",
+		strings.NewReader(`{"graph":"triangles64","algorithm":"exact"}`))
+	if err != nil {
+		t.Fatalf("POST /v1/estimate: %v", err)
+	}
+	var est struct {
+		Estimate float64 `json:"estimate"`
+		Passes   int     `json:"passes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatalf("decode estimate: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || est.Estimate != 64 {
+		t.Fatalf("estimate = %d %+v, want 200 with 64 triangles", resp.StatusCode, est)
+	}
+
+	// Distinguish on a triangle-free graph.
+	resp, err = http.Post(base+"/v1/distinguish", "application/json",
+		strings.NewReader(`{"graph":"fourcycles64","cycle_len":3,"sample_size":256,"seed":5}`))
+	if err != nil {
+		t.Fatalf("POST /v1/distinguish: %v", err)
+	}
+	var dis struct {
+		Found *bool `json:"found"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dis); err != nil {
+		t.Fatalf("decode distinguish: %v", err)
+	}
+	resp.Body.Close()
+	if dis.Found == nil || *dis.Found {
+		t.Fatalf("distinguish triangles in fourcycles64 = %v, want found=false", dis.Found)
+	}
+
+	// Graceful shutdown on SIGTERM: run() must return 0.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("self-SIGTERM: %v", err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0; stderr: %s", code, stderr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not shut down after SIGTERM; stdout: %s", stdout)
+	}
+	if !strings.Contains(stdout.String(), "draining...") {
+		t.Errorf("shutdown did not announce drain; stdout: %s", stdout)
+	}
+}
+
+// TestServeGraphsDir serves a real edge-list directory.
+func TestServeGraphsDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tri.edges"), []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	var stdout, stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "localhost:0", "-addr-file", addrFile,
+			"-graphs", dir, "-drain-timeout", "2s",
+		}, &stdout, &stderr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var base string
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no addr file; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Post(base+"/v1/estimate", "application/json",
+		strings.NewReader(`{"graph":"tri","algorithm":"exact"}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var est struct {
+		Estimate float64 `json:"estimate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if est.Estimate != 1 {
+		t.Fatalf("estimate = %v, want 1", est.Estimate)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no shutdown after SIGTERM")
+	}
+}
+
+// TestBadFlags covers the usage-error exits.
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-demo", "positional"}, &out, &out); code != 2 {
+		t.Errorf("positional arg: code = %d, want 2", code)
+	}
+	out.Reset()
+	if code := run(nil, &out, &out); code != 2 {
+		t.Errorf("no graphs: code = %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "no graphs") {
+		t.Errorf("missing usage hint: %s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-graphs", "/nonexistent-dir-xyz"}, &out, &out); code != 1 {
+		t.Errorf("empty graphs dir: code = %d, want 1", code)
+	}
+}

@@ -11,13 +11,20 @@
 //
 // The input is an edge-list file ("u v" per line) streamed in the chosen
 // order, or — with -stream — a ready-made adjacency-list stream file.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage or invalid options
+// (adjstream.ErrInvalidOptions / ErrUnknownAlgorithm), 3 run canceled by
+// -timeout or an interrupt (adjstream.ErrCanceled).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"text/tabwriter"
@@ -25,6 +32,21 @@ import (
 	"adjstream"
 	"adjstream/internal/telemetry"
 )
+
+// exitCode maps an estimation error onto the documented exit codes via the
+// library's sentinel taxonomy.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, adjstream.ErrInvalidOptions), errors.Is(err, adjstream.ErrUnknownAlgorithm):
+		return 2
+	case errors.Is(err, adjstream.ErrCanceled):
+		return 3
+	default:
+		return 1
+	}
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -83,6 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	listen := fs.String("listen", "", "serve live telemetry (expvar + pprof) on this address, e.g. localhost:6060")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit); exits 3 on timeout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -113,11 +136,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if *compare {
-		return runCompare(s, *size, *prob, *pairCap, *copies, *seed, stdout, stderr)
+	// The run context carries -timeout and Ctrl-C, so a too-slow pass is
+	// abandoned at the next batch boundary instead of running to the end.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	res, err := adjstream.Estimate(s, adjstream.Options{
+	if *compare {
+		return runCompare(ctx, s, *size, *prob, *pairCap, *copies, *seed, stdout, stderr)
+	}
+
+	res, err := adjstream.EstimateContext(ctx, s, adjstream.Options{
 		Algorithm:  adjstream.Algorithm(*algo),
 		SampleSize: *size,
 		SampleProb: *prob,
@@ -130,7 +163,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "cyclecount:", err)
-		return 1
+		return exitCode(err)
 	}
 	fmt.Fprintf(stdout, "algorithm:   %s\n", *algo)
 	fmt.Fprintf(stdout, "edges (m):   %d\n", res.M)
@@ -166,7 +199,7 @@ func loadStream(path string, isStream bool, order string, seed uint64) (*adjstre
 	}
 }
 
-func runCompare(s *adjstream.Stream, size int, prob float64, pairCap, copies int, seed uint64, stdout, stderr io.Writer) int {
+func runCompare(ctx context.Context, s *adjstream.Stream, size int, prob float64, pairCap, copies int, seed uint64, stdout, stderr io.Writer) int {
 	// Sensible default budget when none is given.
 	if size == 0 && prob == 0 {
 		size = int(s.M()/4) + 1
@@ -192,10 +225,10 @@ func runCompare(s *adjstream.Stream, size int, prob float64, pairCap, copies int
 				opts.SampleSize = int(s.M())
 			}
 		}
-		res, err := adjstream.Estimate(s, opts)
+		res, err := adjstream.EstimateContext(ctx, s, opts)
 		if err != nil {
 			fmt.Fprintln(stderr, "cyclecount:", a, err)
-			return 1
+			return exitCode(err)
 		}
 		fmt.Fprintf(w, "%s\t%.1f\t%d\t%d\n", a, res.Estimate, res.Passes, res.SpaceWords)
 	}

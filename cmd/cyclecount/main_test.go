@@ -101,3 +101,27 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestExitCodes pins the documented exit-code mapping: 2 for invalid
+// options, 3 for a -timeout abort, 0 for success.
+func TestExitCodes(t *testing.T) {
+	path := writeFixture(t)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-algo", "bogus", path}, &out, &errw); code != 2 {
+		t.Errorf("unknown algorithm: code = %d, want 2", code)
+	}
+	errw.Reset()
+	if code := run([]string{"-algo", "exact", "-timeout", "1ns", path}, &out, &errw); code != 3 {
+		t.Errorf("timeout: code = %d, want 3 (stderr %q)", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "canceled") {
+		t.Errorf("timeout stderr = %q, want a cancellation message", errw.String())
+	}
+	out.Reset()
+	if code := run([]string{"-algo", "exact", "-timeout", "1m", path}, &out, &errw); code != 0 {
+		t.Errorf("within timeout: code = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "estimate:    20.00") {
+		t.Errorf("missing estimate in output: %s", out.String())
+	}
+}

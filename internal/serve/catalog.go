@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"adjstream"
+)
+
+// ErrUnknownGraph reports a request naming no catalog dataset; the HTTP
+// layer maps it to 404.
+var ErrUnknownGraph = errors.New("serve: unknown graph")
+
+// Info is the public description of a catalog dataset.
+type Info struct {
+	// Name is the catalog key.
+	Name string `json:"name"`
+	// N is the vertex count.
+	N int `json:"n"`
+	// M is the edge count.
+	M int64 `json:"m"`
+	// Lists is the number of adjacency lists in the canonical stream.
+	Lists int `json:"lists"`
+}
+
+// Dataset is one loaded graph: the graph itself plus its canonical sorted
+// stream, built once at load time and shared read-only across requests
+// (streams are immutable and safe for concurrent replay).
+type Dataset struct {
+	name   string
+	g      *adjstream.Graph
+	sorted *adjstream.Stream
+}
+
+// Name returns the catalog key.
+func (d *Dataset) Name() string { return d.name }
+
+// Info returns the dataset description.
+func (d *Dataset) Info() Info {
+	return Info{Name: d.name, N: d.g.N(), M: d.g.M(), Lists: d.sorted.Lists()}
+}
+
+// Stream returns the stream for the requested order: "" or "sorted" is the
+// cached canonical stream (no per-request work), "random" materializes a
+// fresh seeded random order for this request.
+func (d *Dataset) Stream(order string, seed uint64) (*adjstream.Stream, error) {
+	switch order {
+	case "", "sorted":
+		return d.sorted, nil
+	case "random":
+		return adjstream.RandomStream(d.g, seed), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown order %q (want sorted or random)", adjstream.ErrInvalidOptions, order)
+	}
+}
+
+// Catalog is a named set of datasets, loaded once and shared by all
+// requests. Adds and lookups are safe for concurrent use; in the service
+// the catalog is populated before Listen and read-only afterwards.
+type Catalog struct {
+	mu     sync.RWMutex
+	byName map[string]*Dataset
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]*Dataset)}
+}
+
+// Add registers g under name, building the cached sorted stream.
+func (c *Catalog) Add(name string, g *adjstream.Graph) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty dataset name")
+	}
+	d := &Dataset{name: name, g: g, sorted: adjstream.SortedStream(g)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byName[name]; dup {
+		return nil, fmt.Errorf("serve: duplicate dataset %q", name)
+	}
+	c.byName[name] = d
+	return d, nil
+}
+
+// LoadFile reads an edge-list file and registers it under name.
+func (c *Catalog) LoadFile(name, path string) error {
+	g, err := adjstream.ReadEdgeListFile(path)
+	if err != nil {
+		return err
+	}
+	_, err = c.Add(name, g)
+	return err
+}
+
+// LoadDir loads every *.edges and *.txt edge-list file in dir, naming each
+// dataset after its file base name without the extension. It returns the
+// number of datasets loaded.
+func (c *Catalog) LoadDir(dir string) (int, error) {
+	var paths []string
+	for _, pat := range []string{"*.edges", "*.txt"} {
+		got, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			return 0, fmt.Errorf("serve: %w", err)
+		}
+		paths = append(paths, got...)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		if err := c.LoadFile(name, p); err != nil {
+			return 0, fmt.Errorf("serve: loading %s: %w", p, err)
+		}
+	}
+	return len(paths), nil
+}
+
+// Get looks up a dataset; ok is false for unknown names.
+func (c *Catalog) Get(name string) (d *Dataset, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok = c.byName[name]
+	return d, ok
+}
+
+// Len returns the number of datasets.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.byName)
+}
+
+// Infos lists every dataset, sorted by name.
+func (c *Catalog) Infos() []Info {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Info, 0, len(c.byName))
+	for _, d := range c.byName {
+		out = append(out, d.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSaturated reports that both the worker slots and the admission queue
+// are full; the HTTP layer maps it to 429 + Retry-After. Failing fast at
+// admission (rather than queueing unboundedly) is the backpressure that
+// keeps latency bounded under overload.
+var ErrSaturated = errors.New("serve: worker pool saturated")
+
+// Pool is a bounded worker pool with admission control: at most workers
+// requests hold a slot concurrently, at most queue more wait for one, and
+// everything beyond that is rejected immediately. Waiters abandon the queue
+// when their context fires (client disconnect, deadline), so a stuck client
+// cannot pin a queue position.
+type Pool struct {
+	slots   chan struct{} // capacity workers: held while estimating
+	tickets chan struct{} // capacity workers+queue: held from admission to release
+	workers int
+	queue   int
+
+	inflight atomic.Int64
+	waiting  atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewPool returns a pool with the given slot and queue capacities.
+// workers <= 0 defaults to GOMAXPROCS; queue < 0 defaults to 2×workers.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue < 0 {
+		queue = 2 * workers
+	}
+	return &Pool{
+		slots:   make(chan struct{}, workers),
+		tickets: make(chan struct{}, workers+queue),
+		workers: workers,
+		queue:   queue,
+	}
+}
+
+// Workers returns the slot capacity.
+func (p *Pool) Workers() int { return p.workers }
+
+// Queue returns the admission-queue capacity beyond the slots.
+func (p *Pool) Queue() int { return p.queue }
+
+// Acquire admits the caller: it returns an idempotent release function once
+// a worker slot is held, ErrSaturated immediately when slots and queue are
+// both full, or ctx.Err() if the context fires while waiting for a slot.
+func (p *Pool) Acquire(ctx context.Context) (release func(), err error) {
+	tt := teleForPool()
+	select {
+	case p.tickets <- struct{}{}:
+	default:
+		p.rejected.Add(1)
+		tt.rejected.Add(1)
+		return nil, ErrSaturated
+	}
+	w := p.waiting.Add(1)
+	tt.waiting.Set(w)
+	tt.queueDepth.Observe(w)
+	select {
+	case p.slots <- struct{}{}:
+		tt.waiting.Set(p.waiting.Add(-1))
+		tt.inflight.Set(p.inflight.Add(1))
+		tt.admitted.Add(1)
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				tt.inflight.Set(p.inflight.Add(-1))
+				<-p.slots
+				<-p.tickets
+			})
+		}, nil
+	case <-ctx.Done():
+		tt.waiting.Set(p.waiting.Add(-1))
+		<-p.tickets
+		return nil, ctx.Err()
+	}
+}
+
+// InFlight returns the number of held worker slots.
+func (p *Pool) InFlight() int { return int(p.inflight.Load()) }
+
+// Waiting returns the number of admitted requests waiting for a slot.
+func (p *Pool) Waiting() int { return int(p.waiting.Load()) }
+
+// Rejected returns the number of admissions refused with ErrSaturated.
+func (p *Pool) Rejected() int64 { return p.rejected.Load() }
+
+// Idle reports whether no request holds a slot or waits for one.
+func (p *Pool) Idle() bool { return p.inflight.Load() == 0 && p.waiting.Load() == 0 }

@@ -1,0 +1,524 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adjstream"
+)
+
+// completeGraph returns K_n.
+func completeGraph(t *testing.T, n int) *adjstream.Graph {
+	t.Helper()
+	var edges []adjstream.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, adjstream.Edge{U: adjstream.V(u), V: adjstream.V(v)})
+		}
+	}
+	g, err := adjstream.FromEdges(edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+// starGraph returns a star with n leaves (cycle-free).
+func starGraph(t *testing.T, n int) *adjstream.Graph {
+	t.Helper()
+	var edges []adjstream.Edge
+	for v := 1; v <= n; v++ {
+		edges = append(edges, adjstream.Edge{U: 0, V: adjstream.V(v)})
+	}
+	g, err := adjstream.FromEdges(edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+// newTestServer builds a catalog with "k6" (20 triangles) and "star"
+// (cycle-free), a Server with cfg, and an httptest server around its
+// handler. The httptest server (rather than bare handler calls) is what
+// makes client disconnects cancel r.Context.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cat := NewCatalog()
+	if _, err := cat.Add("k6", completeGraph(t, 6)); err != nil {
+		t.Fatalf("Add k6: %v", err)
+	}
+	if _, err := cat.Add("star", starGraph(t, 5)); err != nil {
+		t.Fatalf("Add star: %v", err)
+	}
+	srv := New(cat, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// post sends body to path and decodes the response JSON into out.
+func post(t *testing.T, ts *httptest.Server, path string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestEstimateExactRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp EstimateResponse
+	code := post(t, ts, "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "exact"}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", code)
+	}
+	if resp.Estimate != 20 { // C(6,3) triangles in K6
+		t.Errorf("estimate = %v, want 20", resp.Estimate)
+	}
+	if resp.Graph != "k6" || resp.Passes <= 0 || resp.M != 15 || resp.Copies != 1 {
+		t.Errorf("unexpected response: %+v", resp)
+	}
+	if resp.Found != nil {
+		t.Errorf("estimate response carries found = %v", *resp.Found)
+	}
+}
+
+// TestEstimateMatchesLibrary asserts the service returns bit-identical
+// results to a direct library call with the same options — the service adds
+// transport, not arithmetic.
+func TestEstimateMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := EstimateRequest{
+		Graph:      "k6",
+		Algorithm:  string(adjstream.AlgoNaiveTwoPass),
+		SampleSize: 30,
+		Copies:     3,
+		Parallel:   true,
+		Driver:     string(adjstream.DriverBroadcast),
+		Seed:       7,
+	}
+	var resp EstimateResponse
+	if code := post(t, ts, "/v1/estimate", req, &resp); code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", code)
+	}
+	want, err := adjstream.Estimate(adjstream.SortedStream(completeGraph(t, 6)), req.options())
+	if err != nil {
+		t.Fatalf("library Estimate: %v", err)
+	}
+	if resp.Estimate != want.Estimate || resp.SpaceWords != want.SpaceWords ||
+		resp.Passes != want.Passes || resp.Copies != want.Copies {
+		t.Errorf("service %+v != library %+v", resp, want)
+	}
+}
+
+func TestDistinguishRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		graph string
+		want  bool
+	}{
+		{"k6", true},
+		{"star", false},
+	} {
+		var resp EstimateResponse
+		code := post(t, ts, "/v1/distinguish", EstimateRequest{Graph: tc.graph, SampleSize: 64, Seed: 3}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status = %d, want 200", tc.graph, code)
+		}
+		if resp.Found == nil || *resp.Found != tc.want {
+			t.Errorf("%s: found = %v, want %v", tc.graph, resp.Found, tc.want)
+		}
+	}
+}
+
+func TestGraphsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatalf("GET /v1/graphs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var gr GraphsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(gr.Graphs) != 2 || gr.Graphs[0].Name != "k6" || gr.Graphs[1].Name != "star" {
+		t.Fatalf("graphs = %+v, want sorted [k6 star]", gr.Graphs)
+	}
+	if gr.Graphs[0].N != 6 || gr.Graphs[0].M != 15 {
+		t.Errorf("k6 info = %+v, want n=6 m=15", gr.Graphs[0])
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		path string
+		req  EstimateRequest
+		want int
+	}{
+		{"unknown graph", "/v1/estimate", EstimateRequest{Graph: "nope", Algorithm: "exact"}, http.StatusNotFound},
+		{"unknown algorithm", "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "nope"}, http.StatusBadRequest},
+		{"missing algorithm", "/v1/estimate", EstimateRequest{Graph: "k6"}, http.StatusBadRequest},
+		{"bad order", "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "exact", Order: "shuffled"}, http.StatusBadRequest},
+		{"bad cycle len", "/v1/distinguish", EstimateRequest{Graph: "k6", CycleLen: 2}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var er ErrorResponse
+		if code := post(t, ts, tc.path, tc.req, &er); code != tc.want {
+			t.Errorf("%s: status = %d, want %d (error %q)", tc.name, code, tc.want, er.Error)
+		} else if er.Error == "" {
+			t.Errorf("%s: empty error body", tc.name)
+		}
+	}
+
+	// Unknown JSON fields are rejected, not silently dropped.
+	resp, err := http.Post(ts.URL+"/v1/estimate", "application/json",
+		strings.NewReader(`{"graph":"k6","algorithm":"exact","bogus":1}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status = %d, want 400", resp.StatusCode)
+	}
+
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/v1/estimate")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET estimate: status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRandomOrderDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := EstimateRequest{
+		Graph: "k6", Algorithm: string(adjstream.AlgoNaiveTwoPass),
+		SampleSize: 30, Seed: 11, Order: "random",
+	}
+	var a, b EstimateResponse
+	if code := post(t, ts, "/v1/estimate", req, &a); code != http.StatusOK {
+		t.Fatalf("first: status = %d", code)
+	}
+	if code := post(t, ts, "/v1/estimate", req, &b); code != http.StatusOK {
+		t.Fatalf("second: status = %d", code)
+	}
+	if a.Estimate != b.Estimate || a.SpaceWords != b.SpaceWords {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+// gate is the deterministic test seam: each request signals entered and
+// blocks until release or its context fires.
+type gate struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGate() *gate {
+	return &gate{entered: make(chan struct{}, 16), release: make(chan struct{})}
+}
+
+func (g *gate) hook(ctx context.Context) {
+	g.entered <- struct{}{}
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+	}
+}
+
+func waitEntered(t *testing.T, g *gate) {
+	t.Helper()
+	select {
+	case <-g.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the worker slot")
+	}
+}
+
+func TestSaturationReturns429(t *testing.T) {
+	g := newGate()
+	srv, ts := newTestServer(t, Config{Workers: 1, Queue: -1, testHookRun: g.hook})
+
+	first := make(chan int, 1)
+	go func() {
+		var resp EstimateResponse
+		first <- post(t, ts, "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "exact"}, &resp)
+	}()
+	waitEntered(t, g)
+
+	// Slot held, queue disabled: the next request must fail fast.
+	resp, err := http.Post(ts.URL+"/v1/estimate", "application/json",
+		strings.NewReader(`{"graph":"k6","algorithm":"exact"}`))
+	if err != nil {
+		t.Fatalf("second POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated: status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if srv.Pool().Rejected() == 0 {
+		t.Error("pool did not count the rejection")
+	}
+
+	close(g.release)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("first request: status = %d, want 200", code)
+	}
+}
+
+// TestDeadlineCancelsAndFreesSlot drives a request past its deadline while
+// it holds the only worker slot: the run must fail with 504 and the slot
+// must come back so the next request succeeds.
+func TestDeadlineCancelsAndFreesSlot(t *testing.T) {
+	g := newGate()
+	srv, ts := newTestServer(t, Config{Workers: 1, Queue: -1, testHookRun: g.hook})
+
+	// The hook blocks until the 20ms deadline fires, so the run starts
+	// with an expired context.
+	var resp EstimateResponse
+	code := post(t, ts, "/v1/estimate",
+		EstimateRequest{Graph: "k6", Algorithm: "exact", TimeoutMS: 20}, &resp)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: status = %d, want 504", code)
+	}
+
+	deadline := time.After(5 * time.Second)
+	for !srv.Pool().Idle() {
+		select {
+		case <-deadline:
+			t.Fatal("worker slot never released after cancellation")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// The freed slot serves the next request (gate open from here on).
+	close(g.release)
+	var ok EstimateResponse
+	if code := post(t, ts, "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "exact"}, &ok); code != http.StatusOK {
+		t.Fatalf("after cancellation: status = %d, want 200", code)
+	}
+	if ok.Estimate != 20 {
+		t.Errorf("estimate = %v, want 20", ok.Estimate)
+	}
+}
+
+// TestClientDisconnectFreesSlot cancels the client's request mid-run and
+// asserts the worker slot is returned.
+func TestClientDisconnectFreesSlot(t *testing.T) {
+	g := newGate()
+	srv, ts := newTestServer(t, Config{Workers: 1, Queue: -1, testHookRun: g.hook})
+	defer close(g.release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/estimate",
+		strings.NewReader(`{"graph":"k6","algorithm":"exact"}`))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitEntered(t, g)
+	cancel()
+	<-done
+
+	deadline := time.After(5 * time.Second)
+	for !srv.Pool().Idle() {
+		select {
+		case <-deadline:
+			t.Fatal("worker slot never released after client disconnect")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestGracefulDrain flips drain mode while a request is in flight: health
+// and new work go 503, the in-flight request completes, and DrainWait
+// returns once the pool is empty.
+func TestGracefulDrain(t *testing.T) {
+	g := newGate()
+	srv, ts := newTestServer(t, Config{Workers: 2, testHookRun: g.hook})
+
+	first := make(chan EstimateResponse, 1)
+	go func() {
+		var resp EstimateResponse
+		if code := post(t, ts, "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "exact"}, &resp); code != http.StatusOK {
+			resp.Estimate = -1
+		}
+		first <- resp
+	}()
+	waitEntered(t, g)
+
+	srv.SetDraining(true)
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var health HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Fatalf("draining healthz = %d %+v, want 503 draining", hr.StatusCode, health)
+	}
+	if health.InFlight != 1 {
+		t.Errorf("healthz in_flight = %d, want 1", health.InFlight)
+	}
+
+	if code := post(t, ts, "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "exact"}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("estimate while draining: status = %d, want 503", code)
+	}
+
+	// The in-flight request runs to completion with a correct answer.
+	close(g.release)
+	resp := <-first
+	if resp.Estimate != 20 {
+		t.Fatalf("in-flight request under drain: estimate = %v, want 20", resp.Estimate)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.DrainWait(ctx); err != nil {
+		t.Fatalf("DrainWait: %v", err)
+	}
+
+	srv.SetDraining(false)
+	hr, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after drain off = %d, want 200", hr.StatusCode)
+	}
+}
+
+func TestPoolAcquire(t *testing.T) {
+	p := NewPool(1, 0)
+	rel, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if p.InFlight() != 1 {
+		t.Errorf("InFlight = %d, want 1", p.InFlight())
+	}
+	if _, err := p.Acquire(context.Background()); err != ErrSaturated {
+		t.Fatalf("saturated Acquire err = %v, want ErrSaturated", err)
+	}
+	rel()
+	rel() // idempotent
+	if !p.Idle() {
+		t.Error("pool not idle after release")
+	}
+	if rel2, err := p.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	} else {
+		rel2()
+	}
+}
+
+func TestPoolQueueWaiterCancel(t *testing.T) {
+	p := NewPool(1, 1)
+	rel, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.Acquire(ctx)
+		errc <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for p.Waiting() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled waiter err = %v, want context.Canceled", err)
+	}
+	if p.Waiting() != 0 {
+		t.Errorf("Waiting = %d after cancel, want 0", p.Waiting())
+	}
+	// The abandoned ticket is returned: a fresh waiter can still queue.
+	select {
+	case p.tickets <- struct{}{}:
+		<-p.tickets
+	default:
+		t.Error("ticket leaked by canceled waiter")
+	}
+}
+
+func TestCatalogLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	writeEdges := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+	}
+	writeEdges("tri.edges", "0 1\n1 2\n2 0\n")
+	writeEdges("path.txt", "0 1\n1 2\n")
+	cat := NewCatalog()
+	n, err := cat.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if n != 2 || cat.Len() != 2 {
+		t.Fatalf("loaded %d datasets (len %d), want 2", n, cat.Len())
+	}
+	d, ok := cat.Get("tri")
+	if !ok {
+		t.Fatal("dataset tri missing")
+	}
+	if info := d.Info(); info.N != 3 || info.M != 3 {
+		t.Errorf("tri info = %+v, want n=3 m=3", info)
+	}
+	if _, ok := cat.Get("nope"); ok {
+		t.Error("Get(nope) = ok")
+	}
+}

@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"adjstream"
+)
+
+// ErrDraining reports that the server is shutting down and admits no new
+// estimation work; the HTTP layer maps it to 503.
+var ErrDraining = errors.New("serve: draining")
+
+// StatusClientClosedRequest is the (nginx-conventional) status reported
+// when the client disconnected before its run finished; the response is
+// never seen, but the access log and metrics keep an honest record.
+const StatusClientClosedRequest = 499
+
+// Config tunes a Server. The zero value selects every default.
+type Config struct {
+	// Workers bounds concurrent estimation requests (default GOMAXPROCS).
+	Workers int
+	// Queue bounds admitted requests waiting for a worker slot beyond the
+	// slots themselves (default 2×Workers; 0 disables queueing so every
+	// excess request is rejected immediately).
+	Queue int
+	// MaxTimeout caps per-request deadlines and applies when a request
+	// asks for none (default 30s).
+	MaxTimeout time.Duration
+	// RetryAfter is the Retry-After hint attached to 429 responses
+	// (default 1s, rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+
+	// testHookRun, when set, runs inside the worker slot before the
+	// estimation starts — the test seam for deterministic saturation,
+	// cancellation, and drain tests.
+	testHookRun func(ctx context.Context)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 0 // NewPool resolves GOMAXPROCS
+	}
+	if c.Queue == 0 {
+		c.Queue = -1 // NewPool resolves 2×workers
+	} else if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the estimation service: a catalog of loaded graphs behind the
+// HTTP/JSON API, with every estimation admitted through the bounded pool
+// and run under a context that carries the request deadline and client
+// connection.
+type Server struct {
+	cat  *Catalog
+	cfg  Config
+	pool *Pool
+
+	draining atomic.Bool
+}
+
+// EstimateRequest is the body of POST /v1/estimate and POST /v1/distinguish.
+// For /v1/estimate, Algorithm selects the estimator and CycleLen is the
+// cycle length for "exact". For /v1/distinguish, CycleLen is the decision
+// problem's cycle length (default 3) and Algorithm must be empty — the
+// service derives it, exactly as adjstream.DistinguishContext does.
+type EstimateRequest struct {
+	// Graph names a catalog dataset.
+	Graph string `json:"graph"`
+	// Algorithm selects the estimator (see adjstream.Algorithms).
+	Algorithm string `json:"algorithm,omitempty"`
+	// SampleSize is the bottom-k edge budget m′.
+	SampleSize int `json:"sample_size,omitempty"`
+	// SampleProb is the per-edge sampling probability.
+	SampleProb float64 `json:"sample_prob,omitempty"`
+	// PairCap bounds the candidate pair/wedge reservoir.
+	PairCap int `json:"pair_cap,omitempty"`
+	// CycleLen is the cycle length (see the struct comment).
+	CycleLen int `json:"cycle_len,omitempty"`
+	// Copies runs median-of-k amplification.
+	Copies int `json:"copies,omitempty"`
+	// Confidence derives Copies from δ = 1-Confidence.
+	Confidence float64 `json:"confidence,omitempty"`
+	// Parallel runs copies concurrently through the selected driver.
+	Parallel bool `json:"parallel,omitempty"`
+	// Driver is "broadcast" (default) or "replay".
+	Driver string `json:"driver,omitempty"`
+	// Seed drives all randomness deterministically.
+	Seed uint64 `json:"seed,omitempty"`
+	// Order is the stream order: "sorted" (default, cached) or "random"
+	// (materialized per request from Seed).
+	Order string `json:"order,omitempty"`
+	// TimeoutMS bounds this request's wall time; 0 means the server
+	// maximum. Values above the server maximum are clamped to it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// options maps the wire request onto adjstream.Options.
+func (r EstimateRequest) options() adjstream.Options {
+	return adjstream.Options{
+		Algorithm:  adjstream.Algorithm(r.Algorithm),
+		SampleSize: r.SampleSize,
+		SampleProb: r.SampleProb,
+		PairCap:    r.PairCap,
+		CycleLen:   r.CycleLen,
+		Copies:     r.Copies,
+		Confidence: r.Confidence,
+		Parallel:   r.Parallel,
+		Driver:     adjstream.Driver(r.Driver),
+		Seed:       r.Seed,
+	}
+}
+
+// EstimateResponse is the body of a successful estimate or distinguish.
+type EstimateResponse struct {
+	Graph      string  `json:"graph"`
+	Algorithm  string  `json:"algorithm,omitempty"`
+	Found      *bool   `json:"found,omitempty"` // distinguish only
+	Estimate   float64 `json:"estimate"`
+	SpaceWords int64   `json:"space_words"`
+	Passes     int     `json:"passes"`
+	M          int64   `json:"m"`
+	Copies     int     `json:"copies"`
+	Driver     string  `json:"driver,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// GraphsResponse is the body of GET /v1/graphs.
+type GraphsResponse struct {
+	Graphs []Info `json:"graphs"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Graphs   int    `json:"graphs"`
+	InFlight int    `json:"in_flight"`
+	Waiting  int    `json:"waiting"`
+}
+
+// New returns a server over cat.
+func New(cat *Catalog, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cat:  cat,
+		cfg:  cfg,
+		pool: NewPool(cfg.Workers, cfg.Queue),
+	}
+}
+
+// Pool exposes the admission pool (read-only use: occupancy, counters).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// SetDraining flips drain mode: when on, /healthz fails and new estimation
+// work is rejected with 503 while in-flight requests run to completion.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DrainWait waits until no request holds or waits for a worker slot, or
+// until ctx fires. Call SetDraining(true) first so the pool can only empty.
+func (s *Server) DrainWait(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.pool.Idle() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+		s.handleRun(w, r, "estimate")
+	})
+	mux.HandleFunc("/v1/distinguish", func(w http.ResponseWriter, r *http.Request) {
+		s.handleRun(w, r, "distinguish")
+	})
+	mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// statusOf maps service and facade sentinel errors to HTTP statuses. The
+// deadline check precedes the cancellation check: ErrCanceled wraps the
+// context cause, and an expired deadline is a server-visible timeout (504)
+// while a bare cancellation means the client went away (499).
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		return http.StatusNotFound
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, adjstream.ErrUnknownAlgorithm),
+		errors.Is(err, adjstream.ErrInvalidOptions):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, adjstream.ErrCanceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode failures at this point can only be connection errors; the
+	// status line is already on the wire either way.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the JSON error body for err, attaching Retry-After on
+// saturation.
+func (s *Server) writeError(w http.ResponseWriter, err error) int {
+	status := statusOf(err)
+	if status == http.StatusTooManyRequests {
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	return status
+}
+
+// handleRun is the shared estimate/distinguish path: admission, deadline,
+// catalog lookup, context-aware run, error mapping.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, kind string) {
+	tt := teleForEndpoint(kind)
+	start := time.Now()
+	status := http.StatusOK
+	defer func() { tt.end(start, status) }()
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		status = http.StatusMethodNotAllowed
+		writeJSON(w, status, ErrorResponse{Error: "POST only"})
+		return
+	}
+	if s.draining.Load() {
+		status = s.writeError(w, ErrDraining)
+		return
+	}
+	var req EstimateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		status = s.writeError(w, fmt.Errorf("%w: %w", adjstream.ErrInvalidOptions, err))
+		return
+	}
+	ds, ok := s.cat.Get(req.Graph)
+	if !ok {
+		status = s.writeError(w, fmt.Errorf("%w %q", ErrUnknownGraph, req.Graph))
+		return
+	}
+
+	release, err := s.pool.Acquire(r.Context())
+	if err != nil {
+		status = s.writeError(w, err)
+		return
+	}
+	defer release()
+
+	// The run context carries the client connection (r.Context is
+	// cancelled on disconnect) plus the request deadline, clamped to the
+	// server maximum.
+	d := s.cfg.MaxTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+
+	if s.cfg.testHookRun != nil {
+		s.cfg.testHookRun(ctx)
+	}
+
+	st, err := ds.Stream(req.Order, req.Seed)
+	if err != nil {
+		status = s.writeError(w, err)
+		return
+	}
+
+	resp := EstimateResponse{Graph: req.Graph, Algorithm: req.Algorithm}
+	var res adjstream.Result
+	switch kind {
+	case "estimate":
+		res, err = adjstream.EstimateContext(ctx, st, req.options())
+	default: // distinguish
+		cycleLen := req.CycleLen
+		if cycleLen == 0 {
+			cycleLen = 3
+		}
+		opts := req.options()
+		opts.CycleLen = 0 // derived from cycleLen by DistinguishContext
+		var found bool
+		found, res, err = adjstream.DistinguishContext(ctx, st, cycleLen, opts)
+		resp.Found = &found
+	}
+	if err != nil {
+		status = s.writeError(w, err)
+		return
+	}
+	resp.Estimate = res.Estimate
+	resp.SpaceWords = res.SpaceWords
+	resp.Passes = res.Passes
+	resp.M = res.M
+	resp.Copies = res.Copies
+	resp.Driver = string(res.Driver)
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleGraphs serves GET /v1/graphs.
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	tt := teleForEndpoint("graphs")
+	start := tt.start()
+	status := http.StatusOK
+	defer func() { tt.end(start, status) }()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		status = http.StatusMethodNotAllowed
+		writeJSON(w, status, ErrorResponse{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, GraphsResponse{Graphs: s.cat.Infos()})
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 while
+// draining, so load balancers stop routing before shutdown completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	tt := teleForEndpoint("healthz")
+	start := tt.start()
+	status := http.StatusOK
+	defer func() { tt.end(start, status) }()
+	h := HealthResponse{
+		Status:   "ok",
+		Graphs:   s.cat.Len(),
+		InFlight: s.pool.InFlight(),
+		Waiting:  s.pool.Waiting(),
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}

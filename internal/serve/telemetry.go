@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"time"
+
+	"adjstream/internal/telemetry"
+)
+
+// Service telemetry, following the driver convention: handles resolve per
+// request (one atomic load, plus registry lookups only when enabled) and
+// every update is a nil-check no-op when telemetry is disabled.
+//
+// Metric names, per endpoint ("estimate", "distinguish", "graphs",
+// "healthz"):
+//
+//	serve.<endpoint>.requests    counter   — requests handled
+//	serve.<endpoint>.errors      counter   — non-2xx responses
+//	serve.<endpoint>.latency_ns  histogram — wall time per request
+//
+// and for the worker pool:
+//
+//	serve.pool.in_flight    gauge      — held worker slots
+//	serve.pool.waiting      gauge      — admitted requests waiting for a slot
+//	serve.pool.queue_depth  high-water — peak waiting requests
+//	serve.pool.admitted     counter    — requests granted a slot
+//	serve.pool.rejected     counter    — admissions refused (429s)
+type endpointTele struct {
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+// teleForEndpoint binds the handle set for the named endpoint, or the
+// all-nil zero value when telemetry is disabled.
+func teleForEndpoint(name string) endpointTele {
+	r := telemetry.Global()
+	if r == nil {
+		return endpointTele{}
+	}
+	prefix := "serve." + name + "."
+	return endpointTele{
+		requests: r.Counter(prefix + "requests"),
+		errors:   r.Counter(prefix + "errors"),
+		latency:  r.Histogram(prefix + "latency_ns"),
+	}
+}
+
+// start returns the request start time, or the zero time when disabled.
+func (t endpointTele) start() time.Time {
+	if t.requests == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// end records one handled request and whether it failed.
+func (t endpointTele) end(start time.Time, status int) {
+	if t.requests == nil {
+		return
+	}
+	t.requests.Add(1)
+	if status >= 300 {
+		t.errors.Add(1)
+	}
+	t.latency.Observe(int64(time.Since(start)))
+}
+
+// poolTele is the pool's handle set.
+type poolTele struct {
+	inflight   *telemetry.Gauge
+	waiting    *telemetry.Gauge
+	queueDepth *telemetry.HighWater
+	admitted   *telemetry.Counter
+	rejected   *telemetry.Counter
+}
+
+// teleForPool binds the pool handles, or the all-nil zero value when
+// telemetry is disabled.
+func teleForPool() poolTele {
+	r := telemetry.Global()
+	if r == nil {
+		return poolTele{}
+	}
+	return poolTele{
+		inflight:   r.Gauge("serve.pool.in_flight"),
+		waiting:    r.Gauge("serve.pool.waiting"),
+		queueDepth: r.HighWater("serve.pool.queue_depth"),
+		admitted:   r.Counter("serve.pool.admitted"),
+		rejected:   r.Counter("serve.pool.rejected"),
+	}
+}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -139,9 +140,28 @@ func RunBroadcast(s *Stream, ests []Estimator) {
 // RunBroadcastConfig is RunBroadcast with explicit tuning knobs; it returns
 // the driver counters for the run.
 func RunBroadcastConfig(s *Stream, ests []Estimator, cfg BroadcastConfig) DriverStats {
+	// context.Background never fires, so the context variant cannot fail.
+	st, _ := RunBroadcastConfigContext(context.Background(), s, ests, cfg)
+	return st
+}
+
+// RunBroadcastContext is RunBroadcast with cooperative cancellation (see
+// RunBroadcastConfigContext).
+func RunBroadcastContext(ctx context.Context, s *Stream, ests []Estimator) (DriverStats, error) {
+	return RunBroadcastConfigContext(ctx, s, ests, BroadcastConfig{})
+}
+
+// RunBroadcastConfigContext is RunBroadcastConfig with cooperative
+// cancellation. The producer polls ctx at batch boundaries — never per item
+// — so a never-firing context costs nothing on the fan-out hot path. On
+// cancellation the producer stops reading the stream, the workers drain the
+// batches already queued (bounded by QueueDepth) and exit, and the call
+// returns ctx.Err() with the counters accumulated so far; the estimators'
+// state is unspecified. No goroutines outlive the call either way.
+func RunBroadcastConfigContext(ctx context.Context, s *Stream, ests []Estimator, cfg BroadcastConfig) (DriverStats, error) {
 	cfg = cfg.withDefaults()
 	if len(ests) == 0 {
-		return DriverStats{}
+		return DriverStats{}, ctx.Err()
 	}
 	maxPasses := 0
 	for _, e := range ests {
@@ -151,7 +171,16 @@ func RunBroadcastConfig(s *Stream, ests []Estimator, cfg BroadcastConfig) Driver
 	}
 	var dc driverCounters
 	tt := teleForDriver("broadcast")
+	done := ctx.Done()
+	var runErr error
+	passes := 0
 	for p := 0; p < maxPasses; p++ {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				runErr = err
+				break
+			}
+		}
 		active := ests[:0:0]
 		for _, e := range ests {
 			if e.Passes() > p {
@@ -159,23 +188,30 @@ func RunBroadcastConfig(s *Stream, ests []Estimator, cfg BroadcastConfig) Driver
 			}
 		}
 		start := tt.startPass()
-		broadcastPass(s, active, p, cfg, &dc)
+		err := broadcastPass(ctx, s, active, p, cfg, &dc)
 		tt.endPass(start, int64(len(s.items)), int64(len(s.items))*int64(len(active)))
+		passes = p + 1
+		if err != nil {
+			runErr = err
+			break
+		}
 	}
 	tt.copies.Add(int64(len(ests)))
-	st := dc.snapshot(len(ests), maxPasses)
+	st := dc.snapshot(len(ests), passes)
 	tt.batches.Add(st.Batches)
 	tt.queueDepth.Observe(int64(st.PeakQueueDepth))
-	return st
+	return st, runErr
 }
 
 // broadcastPass performs pass p: one producer reads the stream, a bounded
 // pool of workers (each owning a contiguous shard of the active copies)
 // consumes batches and replays the item-at-a-time callback protocol of
-// runPass for every copy in its shard.
-func broadcastPass(s *Stream, active []Estimator, p int, cfg BroadcastConfig, dc *driverCounters) {
+// runPass for every copy in its shard. Cancellation is polled per batch
+// send; on a cancelled ctx the producer stops early, closes the channels so
+// the workers drain and exit, and returns ctx.Err().
+func broadcastPass(ctx context.Context, s *Stream, active []Estimator, p int, cfg BroadcastConfig, dc *driverCounters) error {
 	if len(active) == 0 {
-		return
+		return nil
 	}
 	workers := cfg.Workers
 	if workers > len(active) {
@@ -196,27 +232,45 @@ func broadcastPass(s *Stream, active []Estimator, p int, cfg BroadcastConfig, dc
 		}(active[lo:hi], ch)
 	}
 	items := s.items
-	var batches int64
+	done := ctx.Done()
+	var batches, read int64
+producer:
 	for i := 0; i < len(items); i += cfg.BatchSize {
 		j := i + cfg.BatchSize
 		if j > len(items) {
 			j = len(items)
 		}
 		batch := items[i:j]
-		for _, ch := range chans {
-			// The producer is the only sender, so len(ch) at send
-			// time is an exact backlog measurement.
-			dc.observeQueueDepth(int64(len(ch)))
-			ch <- batch
-			batches++
+		if done == nil {
+			// No cancellation requested: the exact pre-context hot path.
+			for _, ch := range chans {
+				// The producer is the only sender, so len(ch) at send
+				// time is an exact backlog measurement.
+				dc.observeQueueDepth(int64(len(ch)))
+				ch <- batch
+				batches++
+			}
+		} else {
+			for _, ch := range chans {
+				dc.observeQueueDepth(int64(len(ch)))
+				select {
+				case ch <- batch:
+					batches++
+				case <-done:
+					// Abandon the pass; workers drain what was queued.
+					break producer
+				}
+			}
 		}
+		read = int64(j)
 	}
 	for _, ch := range chans {
 		close(ch)
 	}
 	wg.Wait()
 	dc.batches.Add(batches)
-	dc.streamItemsRead.Add(int64(len(items)))
+	dc.streamItemsRead.Add(read)
+	return ctx.Err()
 }
 
 // shardBounds splits n copies across k workers into contiguous ranges.
@@ -271,12 +325,32 @@ func runShardPass(shard []Estimator, p int, ch <-chan []Item) (delivered int64) 
 // the median estimate, the summed peak space, and the driver counters —
 // the single-traversal counterpart of MedianParallel's replay mode.
 func MedianBroadcast(s *Stream, copies []Estimator) (estimate float64, spaceWords int64, st DriverStats) {
-	st = RunBroadcastConfig(s, copies, BroadcastConfig{})
+	// context.Background never fires, so the context variant cannot fail.
+	estimate, spaceWords, st, _ = MedianBroadcastContext(context.Background(), s, copies)
+	return estimate, spaceWords, st
+}
+
+// MedianBroadcastContext is MedianBroadcast with cooperative cancellation.
+// On cancellation it returns ctx.Err() with zero estimate and space — the
+// copies' state is unspecified after an aborted run — plus the driver
+// counters accumulated before the abort.
+func MedianBroadcastContext(ctx context.Context, s *Stream, copies []Estimator) (estimate float64, spaceWords int64, st DriverStats, err error) {
+	st, err = RunBroadcastConfigContext(ctx, s, copies, BroadcastConfig{})
+	if err != nil {
+		return 0, 0, st, err
+	}
+	estimate, spaceWords = MedianOf(copies)
+	return estimate, spaceWords, st, nil
+}
+
+// MedianOf reads the median estimate and summed peak space of copies that
+// have completed their run.
+func MedianOf(copies []Estimator) (estimate float64, spaceWords int64) {
 	xs := make([]float64, len(copies))
 	var sp int64
 	for i, c := range copies {
 		xs[i] = c.Estimate()
 		sp += c.SpaceWords()
 	}
-	return stats.Median(xs), sp, st
+	return stats.Median(xs), sp
 }

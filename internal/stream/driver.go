@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 
 	"adjstream/internal/graph"
@@ -28,13 +29,41 @@ type Algorithm interface {
 // Run replays s once per pass of a. Every pass sees the identical order, the
 // setting required by the paper's two-pass triangle algorithm.
 func Run(s *Stream, a Algorithm) {
+	// context.Background never fires, so RunContext cannot fail here.
+	_ = RunContext(context.Background(), s, a)
+}
+
+// CancelCheckItems is the cancellation granularity of the sequential driver:
+// RunContext polls ctx once per this many items, so a cancelled run stops
+// within one block, never mid-callback. It matches the broadcast driver's
+// default batch size, where cancellation is checked per batch send.
+const CancelCheckItems = DefaultBatchSize
+
+// RunContext is Run with cooperative cancellation: it replays s once per
+// pass of a, polling ctx at block boundaries (every CancelCheckItems items)
+// and between passes. On cancellation it abandons the run — the current
+// pass's EndList/EndPass are not delivered, and a's state is unspecified —
+// and returns ctx.Err(). A context that never fires adds no per-item work
+// and yields exactly the callback sequence of Run.
+func RunContext(ctx context.Context, s *Stream, a Algorithm) error {
 	tt := teleForDriver("run")
+	done := ctx.Done()
 	for p := 0; p < a.Passes(); p++ {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		start := tt.startPass()
-		runPass(s, a, p)
+		if done == nil {
+			runPass(s, a, p)
+		} else if err := runPassContext(ctx, s, a, p); err != nil {
+			return err
+		}
 		tt.endPass(start, int64(len(s.items)), int64(len(s.items)))
 	}
 	tt.copies.Add(1)
+	return nil
 }
 
 // RunOrders drives a with a (possibly) different stream per pass. All
@@ -80,6 +109,41 @@ func runPass(s *Stream, a Algorithm, p int) {
 		a.EndList(cur)
 	}
 	a.EndPass(p)
+}
+
+// runPassContext is runPass with a cancellation poll every CancelCheckItems
+// items. The callback protocol within a block is identical to runPass; an
+// aborted pass stops at a block boundary without closing the open list.
+func runPassContext(ctx context.Context, s *Stream, a Algorithm, p int) error {
+	a.StartPass(p)
+	inList := false
+	var cur graph.V
+	items := s.items
+	for base := 0; base < len(items); base += CancelCheckItems {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := base + CancelCheckItems
+		if end > len(items) {
+			end = len(items)
+		}
+		for _, it := range items[base:end] {
+			if !inList || it.Owner != cur {
+				if inList {
+					a.EndList(cur)
+				}
+				cur = it.Owner
+				inList = true
+				a.StartList(cur)
+			}
+			a.Edge(it.Owner, it.Nbr)
+		}
+	}
+	if inList {
+		a.EndList(cur)
+	}
+	a.EndPass(p)
+	return nil
 }
 
 // Estimator is an Algorithm that produces a numeric estimate after its final

@@ -1,10 +1,9 @@
 package stream
 
 import (
+	"context"
 	"runtime"
 	"sync"
-
-	"adjstream/internal/stats"
 )
 
 // RunParallel drives each estimator over s concurrently (each copy performs
@@ -17,6 +16,16 @@ import (
 // RunParallel is kept as the A/B baseline (see ReplayStats for the
 // counters a replay run would report).
 func RunParallel(s *Stream, ests []Estimator) {
+	// context.Background never fires, so RunParallelContext cannot fail.
+	_ = RunParallelContext(context.Background(), s, ests)
+}
+
+// RunParallelContext is RunParallel with cooperative cancellation: every
+// copy runs under ctx (each polling at the RunContext block granularity) and
+// a cancelled ctx makes all of them abandon their current pass. It returns
+// ctx.Err() if the run was cancelled — the only error a replay run can
+// produce — after every copy goroutine has exited.
+func RunParallelContext(ctx context.Context, s *Stream, ests []Estimator) error {
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for _, e := range ests {
@@ -25,10 +34,13 @@ func RunParallel(s *Stream, ests []Estimator) {
 		go func(e Estimator) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			Run(s, e)
+			// A cancelled copy returns ctx.Err(), which is sticky and
+			// reported once for the whole run below.
+			_ = RunContext(ctx, s, e)
 		}(e)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // ReplayStats returns the driver counters of a replay run of ests over s
@@ -50,10 +62,10 @@ func ReplayStats(s *Stream, ests []Estimator) DriverStats {
 
 // MedianParallel runs the copies concurrently over s and returns the median
 // estimate and the summed peak space — the parallel counterpart of driving
-// a MedianEstimator with Run. Since this PR it uses the broadcast driver
-// (one stream read per pass, fanned out to all copies); MedianReplay keeps
-// the old once-per-copy replay for A/B comparison. Both produce identical
-// estimates for fixed-seed copies.
+// a MedianEstimator with Run. Since the broadcast PR it uses the broadcast
+// driver (one stream read per pass, fanned out to all copies); MedianReplay
+// keeps the old once-per-copy replay for A/B comparison. Both produce
+// identical estimates for fixed-seed copies.
 func MedianParallel(s *Stream, copies []Estimator) (estimate float64, spaceWords int64) {
 	estimate, spaceWords, _ = MedianBroadcast(s, copies)
 	return estimate, spaceWords
@@ -62,12 +74,18 @@ func MedianParallel(s *Stream, copies []Estimator) (estimate float64, spaceWords
 // MedianReplay is MedianParallel on the replay driver: every copy replays
 // the full stream itself (the pre-broadcast behavior).
 func MedianReplay(s *Stream, copies []Estimator) (estimate float64, spaceWords int64) {
-	RunParallel(s, copies)
-	xs := make([]float64, len(copies))
-	var sp int64
-	for i, c := range copies {
-		xs[i] = c.Estimate()
-		sp += c.SpaceWords()
+	// context.Background never fires, so the context variant cannot fail.
+	estimate, spaceWords, _ = MedianReplayContext(context.Background(), s, copies)
+	return estimate, spaceWords
+}
+
+// MedianReplayContext is MedianReplay with cooperative cancellation. On
+// cancellation it returns ctx.Err() with zero estimate and space; the
+// copies' state is unspecified after an aborted run.
+func MedianReplayContext(ctx context.Context, s *Stream, copies []Estimator) (estimate float64, spaceWords int64, err error) {
+	if err := RunParallelContext(ctx, s, copies); err != nil {
+		return 0, 0, err
 	}
-	return stats.Median(xs), sp
+	estimate, spaceWords = MedianOf(copies)
+	return estimate, spaceWords, nil
 }
