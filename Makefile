@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-json journal-smoke serve-smoke cover all
+.PHONY: build test race vet bench bench-smoke bench-json journal-smoke serve-smoke cache-smoke cover all
 
 all: build vet test
 
@@ -40,6 +40,14 @@ journal-smoke:
 serve-smoke:
 	$(GO) test -race -run 'TestServeEndToEnd' ./cmd/adjserved/
 	$(GO) vet ./internal/serve/ ./cmd/adjserved/
+
+# Result-cache smoke: boot adjserved -demo with telemetry, send the same
+# request twice, and assert the repeat is a cache hit (X-Cache header plus
+# the serve.cache.* counters on /debug/vars), then the root equivalence
+# and stampede tests.
+cache-smoke:
+	$(GO) test -race -run 'TestCacheSmoke' ./cmd/adjserved/
+	$(GO) test -race -run 'TestCachedResponseByteIdenticalEveryAlgorithmAndDriver|TestCacheStampedeSingleRun' .
 
 # Full benchmark run archived as machine-readable JSON (see cmd/bench2json).
 bench-json:

@@ -9,10 +9,17 @@
 //
 // API:
 //
-//	POST /v1/estimate     {"graph":"...","algorithm":"exact", ...}
-//	POST /v1/distinguish  {"graph":"...","cycle_len":3, ...}
-//	GET  /v1/graphs       catalog listing
-//	GET  /healthz         readiness (503 while draining)
+//	POST /v1/estimate        {"graph":"...","algorithm":"exact", ...}
+//	POST /v1/distinguish     {"graph":"...","cycle_len":3, ...}
+//	POST /v1/estimate/batch  {"requests":[{...},{...}]}
+//	GET  /v1/graphs          catalog listing
+//	GET  /healthz            readiness (503 while draining)
+//
+// Results are deterministic in (graph, algorithm, options, seed), so the
+// server caches them: repeat requests are answered from a sharded LRU
+// (see -cache-entries, -cache-ttl, -no-cache; the X-Cache response header
+// reports hit/miss/coalesced/bypass) and concurrent identical requests
+// are coalesced into a single estimation run.
 //
 // On SIGINT/SIGTERM the server drains: /healthz flips to 503 so load
 // balancers stop routing, new estimation work is rejected, in-flight
@@ -91,6 +98,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", -1, "admitted requests waiting for a worker beyond the slots (-1 = 2x workers, 0 = reject immediately)")
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap on per-request deadlines")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	cacheEntries := fs.Int("cache-entries", 4096, "max cached results across all shards")
+	cacheTTL := fs.Duration("cache-ttl", 0, "expire cached results after this age (0 = only LRU eviction)")
+	noCache := fs.Bool("no-cache", false, "disable the result cache and request coalescing")
 	teleAddr := fs.String("telemetry", "", "also serve /debug/vars and /debug/pprof on this address, and dump a metrics snapshot on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -135,10 +145,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "telemetry on http://%s/debug/vars\n", ln.Addr())
 	}
 
+	entries := *cacheEntries
+	if *noCache || entries == 0 {
+		entries = -1
+	}
 	srv := serve.New(cat, serve.Config{
-		Workers:    *workers,
-		Queue:      *queue,
-		MaxTimeout: *maxTimeout,
+		Workers:      *workers,
+		Queue:        *queue,
+		MaxTimeout:   *maxTimeout,
+		CacheEntries: entries,
+		CacheTTL:     *cacheTTL,
 	})
 	hs := &http.Server{Handler: srv.Handler()}
 

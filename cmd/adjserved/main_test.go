@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -182,6 +184,129 @@ func TestServeGraphsDir(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("no shutdown after SIGTERM")
+	}
+}
+
+// lockedBuffer is a Writer safe to read while the server goroutine is
+// still writing to it (startServer's bare bytes.Buffer is only read after
+// shutdown).
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestCacheSmoke is the `make cache-smoke` entry point: boot adjserved
+// with the demo catalog and telemetry enabled, issue the same request
+// twice, and assert the repeat was answered from the result cache — via
+// the X-Cache header, the live /debug/vars counters, and the final
+// telemetry snapshot dumped on shutdown.
+func TestCacheSmoke(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	stdout, stderr := &lockedBuffer{}, &lockedBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "localhost:0", "-addr-file", addrFile,
+			"-demo", "-workers", "2", "-drain-timeout", "5s",
+			"-telemetry", "localhost:0",
+		}, stdout, stderr)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var base string
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no addr file; stderr: %s", stderr)
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("server exited early with code %d; stderr: %s", code, stderr)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// The telemetry line is printed before the addr file is written, so it
+	// is present by now.
+	out := stdout.String()
+	i := strings.Index(out, "telemetry on http://")
+	if i < 0 {
+		t.Fatalf("no telemetry address in stdout: %s", out)
+	}
+	teleURL := strings.TrimSpace(out[i+len("telemetry on ") : strings.IndexByte(out[i:], '\n')+i])
+
+	// Same request twice: the repeat must be a cache hit with an identical
+	// body.
+	const body = `{"graph":"triangles64","algorithm":"exact","seed":1}`
+	var bodies [2][]byte
+	var outcomes [2]string
+	for n := 0; n < 2; n++ {
+		resp, err := http.Post(base+"/v1/estimate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %d: %v", n, err)
+		}
+		bodies[n], err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %d: status %d err %v", n, resp.StatusCode, err)
+		}
+		outcomes[n] = resp.Header.Get("X-Cache")
+	}
+	if outcomes[0] != "miss" || outcomes[1] != "hit" {
+		t.Fatalf("X-Cache = %v, want [miss hit]", outcomes)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("cached body differs:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+
+	// The live metrics endpoint reflects the hit.
+	resp, err := http.Get(teleURL)
+	if err != nil {
+		t.Fatalf("GET %s: %v", teleURL, err)
+	}
+	var vars struct {
+		Adjstream map[string]float64 `json:"adjstream"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decode /debug/vars: %v", err)
+	}
+	resp.Body.Close()
+	if vars.Adjstream["serve.cache.hits"] < 1 {
+		t.Errorf("serve.cache.hits = %v, want >= 1 (snapshot: %v)",
+			vars.Adjstream["serve.cache.hits"], vars.Adjstream)
+	}
+	if vars.Adjstream["serve.cache.misses"] < 1 {
+		t.Errorf("serve.cache.misses = %v, want >= 1", vars.Adjstream["serve.cache.misses"])
+	}
+
+	// Graceful shutdown dumps the final snapshot, cache counters included.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no shutdown after SIGTERM")
+	}
+	if !strings.Contains(stderr.String(), "serve.cache.hits") {
+		t.Errorf("final snapshot missing cache counters; stderr: %s", stderr)
 	}
 }
 

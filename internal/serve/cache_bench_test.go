@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"adjstream/internal/gen"
+)
+
+// newBenchServer builds an httptest server over one mid-size Erdős–Rényi
+// graph, heavy enough that an estimation run dwarfs HTTP overhead.
+func newBenchServer(b *testing.B, cfg Config) *httptest.Server {
+	b.Helper()
+	g, err := gen.ErdosRenyi(800, 0.05, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := NewCatalog()
+	if _, err := cat.Add("er800", g); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(New(cat, cfg).Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+// benchPost POSTs body to /v1/estimate and returns the X-Cache header.
+func benchPost(b *testing.B, ts *httptest.Server, body string) string {
+	b.Helper()
+	resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	return resp.Header.Get("X-Cache")
+}
+
+// BenchmarkEstimateColdVsCached compares the full request latency of an
+// uncached estimation run ("cold", cache disabled so every iteration
+// streams the graph) against a cache hit ("cached", primed once). The
+// cached path should cost well under 1% of the cold path — it is one
+// shard-map lookup plus JSON encoding.
+func BenchmarkEstimateColdVsCached(b *testing.B) {
+	const body = `{"graph":"er800","algorithm":"twopass-triangle","sample_size":512,"copies":9,"parallel":true,"seed":7}`
+	b.Run("cold", func(b *testing.B) {
+		ts := newBenchServer(b, Config{CacheEntries: -1})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if out := benchPost(b, ts, body); out != string(CacheBypass) {
+				b.Fatalf("X-Cache = %q, want bypass", out)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		ts := newBenchServer(b, Config{})
+		benchPost(b, ts, body) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if out := benchPost(b, ts, body); out != string(CacheHit) {
+				b.Fatalf("X-Cache = %q, want hit", out)
+			}
+		}
+	})
+}

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -15,6 +17,11 @@ import (
 // layer maps it to 404.
 var ErrUnknownGraph = errors.New("serve: unknown graph")
 
+// ErrDuplicateGraph reports an Add or LoadFile under a name the catalog
+// already holds. Callers that reload catalogs dispatch on it with
+// errors.Is instead of matching message strings.
+var ErrDuplicateGraph = errors.New("serve: duplicate graph")
+
 // Info is the public description of a catalog dataset.
 type Info struct {
 	// Name is the catalog key.
@@ -25,23 +32,61 @@ type Info struct {
 	M int64 `json:"m"`
 	// Lists is the number of adjacency lists in the canonical stream.
 	Lists int `json:"lists"`
+	// Fingerprint is the content hash of the graph (16 hex digits), the
+	// value that keys cached results to the graph's edges rather than its
+	// catalog name.
+	Fingerprint string `json:"fingerprint"`
 }
 
 // Dataset is one loaded graph: the graph itself plus its canonical sorted
-// stream, built once at load time and shared read-only across requests
-// (streams are immutable and safe for concurrent replay).
+// stream and content fingerprint, built once at load time and shared
+// read-only across requests (streams are immutable and safe for concurrent
+// replay).
 type Dataset struct {
 	name   string
 	g      *adjstream.Graph
 	sorted *adjstream.Stream
+	fp     uint64
 }
 
 // Name returns the catalog key.
 func (d *Dataset) Name() string { return d.name }
 
+// Fingerprint returns the content hash of the dataset's graph: FNV-64a
+// over the vertex count, edge count, and every adjacency list in canonical
+// sorted order. Two datasets share a fingerprint iff they hold the same
+// labeled graph, so a cache entry keyed by (name, fingerprint) can never
+// survive a reload that changes the edges behind a name.
+func (d *Dataset) Fingerprint() uint64 { return d.fp }
+
+// fingerprintGraph hashes g's canonical adjacency structure.
+func fingerprintGraph(g *adjstream.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(g.N()))
+	put(uint64(g.M()))
+	for _, u := range g.Vertices() {
+		put(uint64(u))
+		for _, v := range g.Neighbors(u) {
+			put(uint64(v))
+		}
+	}
+	return h.Sum64()
+}
+
 // Info returns the dataset description.
 func (d *Dataset) Info() Info {
-	return Info{Name: d.name, N: d.g.N(), M: d.g.M(), Lists: d.sorted.Lists()}
+	return Info{
+		Name:        d.name,
+		N:           d.g.N(),
+		M:           d.g.M(),
+		Lists:       d.sorted.Lists(),
+		Fingerprint: fmt.Sprintf("%016x", d.fp),
+	}
 }
 
 // Stream returns the stream for the requested order: "" or "sorted" is the
@@ -76,11 +121,11 @@ func (c *Catalog) Add(name string, g *adjstream.Graph) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: empty dataset name")
 	}
-	d := &Dataset{name: name, g: g, sorted: adjstream.SortedStream(g)}
+	d := &Dataset{name: name, g: g, sorted: adjstream.SortedStream(g), fp: fingerprintGraph(g)}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.byName[name]; dup {
-		return nil, fmt.Errorf("serve: duplicate dataset %q", name)
+		return nil, fmt.Errorf("%w %q", ErrDuplicateGraph, name)
 	}
 	c.byName[name] = d
 	return d, nil

@@ -36,6 +36,13 @@ type Config struct {
 	// RetryAfter is the Retry-After hint attached to 429 responses
 	// (default 1s, rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
+	// CacheEntries bounds the result cache (total entries across its
+	// shards): 0 selects the default (4096), negative disables the cache
+	// and its request coalescing entirely.
+	CacheEntries int
+	// CacheTTL expires cached results by age; 0 keeps entries until LRU
+	// eviction.
+	CacheTTL time.Duration
 
 	// testHookRun, when set, runs inside the worker slot before the
 	// estimation starts — the test seam for deterministic saturation,
@@ -58,6 +65,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
 	return c
 }
 
@@ -66,9 +76,10 @@ func (c Config) withDefaults() Config {
 // and run under a context that carries the request deadline and client
 // connection.
 type Server struct {
-	cat  *Catalog
-	cfg  Config
-	pool *Pool
+	cat   *Catalog
+	cfg   Config
+	pool  *Pool
+	cache *Cache // nil when disabled
 
 	draining atomic.Bool
 }
@@ -99,14 +110,28 @@ type EstimateRequest struct {
 	Parallel bool `json:"parallel,omitempty"`
 	// Driver is "broadcast" (default) or "replay".
 	Driver string `json:"driver,omitempty"`
-	// Seed drives all randomness deterministically.
-	Seed uint64 `json:"seed,omitempty"`
+	// Seed drives all randomness deterministically. A nil Seed selects the
+	// server default (0). The pointer matters: with a plain uint64 an
+	// explicit "seed": 0 would be indistinguishable from an absent field,
+	// making the effective seed — and therefore the cache key and any
+	// client-side reproduction — ambiguous. The response always echoes the
+	// seed that actually ran.
+	Seed *uint64 `json:"seed,omitempty"`
 	// Order is the stream order: "sorted" (default, cached) or "random"
 	// (materialized per request from Seed).
 	Order string `json:"order,omitempty"`
 	// TimeoutMS bounds this request's wall time; 0 means the server
 	// maximum. Values above the server maximum are clamped to it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// effectiveSeed resolves the seed that actually runs: the request's when
+// given (including an explicit 0), the server default otherwise.
+func (r EstimateRequest) effectiveSeed() uint64 {
+	if r.Seed != nil {
+		return *r.Seed
+	}
+	return 0
 }
 
 // options maps the wire request onto adjstream.Options.
@@ -121,11 +146,78 @@ func (r EstimateRequest) options() adjstream.Options {
 		Confidence: r.Confidence,
 		Parallel:   r.Parallel,
 		Driver:     adjstream.Driver(r.Driver),
-		Seed:       r.Seed,
+		Seed:       r.effectiveSeed(),
+	}
+}
+
+// validate applies the full pre-admission validation — the stream-order
+// check, the distinguish derivation rules, and the same Options.Validate
+// the run itself will apply — so a malformed or misaddressed request is
+// rejected before it can consume a bounded worker slot.
+func (r EstimateRequest) validate(kind string) error {
+	switch r.Order {
+	case "", "sorted", "random":
+	default:
+		return fmt.Errorf("%w: unknown order %q (want sorted or random)", adjstream.ErrInvalidOptions, r.Order)
+	}
+	opts := r.options()
+	if kind != "distinguish" {
+		return opts.Validate()
+	}
+	if opts.Algorithm != "" {
+		return fmt.Errorf("%w: Distinguish derives Algorithm from cycle_len; leave it empty", adjstream.ErrInvalidOptions)
+	}
+	cycleLen := opts.CycleLen
+	if cycleLen == 0 {
+		cycleLen = 3
+	}
+	if cycleLen < 3 {
+		return fmt.Errorf("%w: cycle length %d < 3", adjstream.ErrInvalidOptions, cycleLen)
+	}
+	// Mirror adjstream.DistinguishContext's derivation so Validate sees
+	// the options the run will actually use.
+	opts.CycleLen = 0
+	switch {
+	case cycleLen == 3:
+		opts.Algorithm = adjstream.AlgoNaiveTwoPass
+	case cycleLen == 4:
+		opts.Algorithm = adjstream.AlgoTwoPassFourCycle
+	default:
+		opts.Algorithm = adjstream.AlgoExact
+		opts.CycleLen = cycleLen
+		opts.SampleSize, opts.SampleProb = 0, 0
+	}
+	if cycleLen < 5 && opts.SampleSize == 0 && opts.SampleProb == 0 {
+		opts.SampleProb = 0.25
+	}
+	return opts.Validate()
+}
+
+// key builds the canonical cache identity of this request against the
+// named dataset's content fingerprint.
+func (r EstimateRequest) key(kind string, fingerprint uint64) cacheKey {
+	return cacheKey{
+		kind:        kind,
+		graph:       r.Graph,
+		fingerprint: fingerprint,
+		algorithm:   r.Algorithm,
+		sampleSize:  r.SampleSize,
+		sampleProb:  r.SampleProb,
+		pairCap:     r.PairCap,
+		cycleLen:    r.CycleLen,
+		copies:      r.Copies,
+		confidence:  r.Confidence,
+		parallel:    r.Parallel,
+		driver:      r.Driver,
+		seed:        r.effectiveSeed(),
+		order:       r.Order,
 	}
 }
 
 // EstimateResponse is the body of a successful estimate or distinguish.
+// Seed is always present: it is the seed that actually ran (the request's,
+// or the server default when the request carried none), so any response
+// can be reproduced client-side or re-requested cache-identically.
 type EstimateResponse struct {
 	Graph      string  `json:"graph"`
 	Algorithm  string  `json:"algorithm,omitempty"`
@@ -136,8 +228,36 @@ type EstimateResponse struct {
 	M          int64   `json:"m"`
 	Copies     int     `json:"copies"`
 	Driver     string  `json:"driver,omitempty"`
+	Seed       uint64  `json:"seed"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
 }
+
+// BatchRequest is the body of POST /v1/estimate/batch: many estimate specs
+// admitted as a unit (pure cache-hit batches bypass admission entirely;
+// everything else shares one worker slot).
+type BatchRequest struct {
+	Requests []EstimateRequest `json:"requests"`
+}
+
+// BatchItem is one element of a batch response. Exactly one of Result and
+// Error is set; Status is the HTTP status this item would have received as
+// a standalone request, so one bad spec never fails its batch.
+type BatchItem struct {
+	Result *EstimateResponse `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+	Status int               `json:"status"`
+	Cache  string            `json:"cache,omitempty"`
+}
+
+// BatchResponse is the body of a batch request that was decoded and
+// answered (always 200; per-item failures live in the items).
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// maxBatchItems bounds one batch body; larger batches are rejected with
+// 400 rather than pinning a worker slot for an unbounded run sequence.
+const maxBatchItems = 256
 
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
@@ -160,15 +280,22 @@ type HealthResponse struct {
 // New returns a server over cat.
 func New(cat *Catalog, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cat:  cat,
 		cfg:  cfg,
 		pool: NewPool(cfg.Workers, cfg.Queue),
 	}
+	if cfg.CacheEntries > 0 {
+		s.cache = NewCache(cfg.CacheEntries, cfg.CacheTTL)
+	}
+	return s
 }
 
 // Pool exposes the admission pool (read-only use: occupancy, counters).
 func (s *Server) Pool() *Pool { return s.pool }
+
+// ResultCache exposes the result cache (nil when disabled); read-only use.
+func (s *Server) ResultCache() *Cache { return s.cache }
 
 // SetDraining flips drain mode: when on, /healthz fails and new estimation
 // work is rejected with 503 while in-flight requests run to completion.
@@ -203,6 +330,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/distinguish", func(w http.ResponseWriter, r *http.Request) {
 		s.handleRun(w, r, "distinguish")
 	})
+	mux.HandleFunc("/v1/estimate/batch", s.handleBatch)
 	mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -253,8 +381,11 @@ func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	return status
 }
 
-// handleRun is the shared estimate/distinguish path: admission, deadline,
-// catalog lookup, context-aware run, error mapping.
+// handleRun is the shared estimate/distinguish path: decode, validate
+// (before admission, so malformed or misaddressed requests never consume
+// a worker slot), then cache lookup / coalesced or fresh run, error
+// mapping. The X-Cache response header reports how the result was
+// obtained (hit, miss, coalesced, or bypass).
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, kind string) {
 	tt := teleForEndpoint(kind)
 	start := time.Now()
@@ -278,42 +409,77 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, kind string) 
 		status = s.writeError(w, fmt.Errorf("%w: %w", adjstream.ErrInvalidOptions, err))
 		return
 	}
+	if err := req.validate(kind); err != nil {
+		status = s.writeError(w, err)
+		return
+	}
 	ds, ok := s.cat.Get(req.Graph)
 	if !ok {
 		status = s.writeError(w, fmt.Errorf("%w %q", ErrUnknownGraph, req.Graph))
 		return
 	}
 
-	release, err := s.pool.Acquire(r.Context())
+	resp, outcome, err := s.runOne(r.Context(), kind, req, ds)
 	if err != nil {
 		status = s.writeError(w, err)
 		return
 	}
-	defer release()
+	w.Header().Set("X-Cache", string(outcome))
+	writeJSON(w, http.StatusOK, resp)
+}
 
-	// The run context carries the client connection (r.Context is
-	// cancelled on disconnect) plus the request deadline, clamped to the
-	// server maximum.
+// timeoutFor resolves a request's wall-time budget: its own timeout_ms,
+// clamped to the server maximum.
+func (s *Server) timeoutFor(req EstimateRequest) time.Duration {
 	d := s.cfg.MaxTimeout
 	if req.TimeoutMS > 0 {
 		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < d {
 			d = t
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), d)
-	defer cancel()
+	return d
+}
 
+// runOne produces the response for one validated request spec. With the
+// cache enabled it goes through Cache.Do — cache hit, coalesced wait on an
+// identical in-progress run, or a fresh leader run that populates the
+// cache. The caller's wait is bounded by its own context (client
+// connection + request deadline); a coalesced run itself is bounded by
+// the server maximum and survives individual waiters abandoning.
+func (s *Server) runOne(ctx context.Context, kind string, req EstimateRequest, ds *Dataset) (EstimateResponse, CacheOutcome, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.timeoutFor(req))
+	defer cancel()
+	if s.cache == nil {
+		resp, err := s.admitAndRun(ctx, kind, req, ds)
+		return resp, CacheBypass, err
+	}
+	return s.cache.Do(ctx, req.key(kind, ds.Fingerprint()), s.cfg.MaxTimeout,
+		func(runCtx context.Context) (EstimateResponse, error) {
+			return s.admitAndRun(runCtx, kind, req, ds)
+		})
+}
+
+// admitAndRun acquires a worker slot under ctx and runs the estimation.
+func (s *Server) admitAndRun(ctx context.Context, kind string, req EstimateRequest, ds *Dataset) (EstimateResponse, error) {
+	release, err := s.pool.Acquire(ctx)
+	if err != nil {
+		return EstimateResponse{}, err
+	}
+	defer release()
+	return s.run(ctx, kind, req, ds)
+}
+
+// run executes the estimation under ctx; the caller holds a worker slot.
+func (s *Server) run(ctx context.Context, kind string, req EstimateRequest, ds *Dataset) (EstimateResponse, error) {
+	start := time.Now()
 	if s.cfg.testHookRun != nil {
 		s.cfg.testHookRun(ctx)
 	}
-
-	st, err := ds.Stream(req.Order, req.Seed)
+	st, err := ds.Stream(req.Order, req.effectiveSeed())
 	if err != nil {
-		status = s.writeError(w, err)
-		return
+		return EstimateResponse{}, err
 	}
-
-	resp := EstimateResponse{Graph: req.Graph, Algorithm: req.Algorithm}
+	resp := EstimateResponse{Graph: req.Graph, Algorithm: req.Algorithm, Seed: req.effectiveSeed()}
 	var res adjstream.Result
 	switch kind {
 	case "estimate":
@@ -330,8 +496,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, kind string) 
 		resp.Found = &found
 	}
 	if err != nil {
-		status = s.writeError(w, err)
-		return
+		return EstimateResponse{}, err
 	}
 	resp.Estimate = res.Estimate
 	resp.SpaceWords = res.SpaceWords
@@ -340,7 +505,113 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, kind string) 
 	resp.Copies = res.Copies
 	resp.Driver = string(res.Driver)
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
+}
+
+// handleBatch serves POST /v1/estimate/batch: many estimate specs in one
+// body, answered per-item so one bad spec cannot fail the others. The
+// batch is admitted as a unit — items answerable from the cache are
+// resolved before admission, and every remaining run shares a single
+// worker slot (items run sequentially under it, each bounded by its own
+// timeout_ms). Batch items populate the cache but do not join in-progress
+// flights of concurrent requests: the batch already holds a slot, and
+// waiting on another request's admission from inside it could deadlock a
+// small pool.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tt := teleForEndpoint("batch")
+	start := time.Now()
+	status := http.StatusOK
+	defer func() { tt.end(start, status) }()
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		status = http.StatusMethodNotAllowed
+		writeJSON(w, status, ErrorResponse{Error: "POST only"})
+		return
+	}
+	if s.draining.Load() {
+		status = s.writeError(w, ErrDraining)
+		return
+	}
+	var batch BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		status = s.writeError(w, fmt.Errorf("%w: %w", adjstream.ErrInvalidOptions, err))
+		return
+	}
+	if len(batch.Requests) == 0 {
+		status = s.writeError(w, fmt.Errorf("%w: empty batch", adjstream.ErrInvalidOptions))
+		return
+	}
+	if len(batch.Requests) > maxBatchItems {
+		status = s.writeError(w, fmt.Errorf("%w: batch of %d exceeds the %d-item limit",
+			adjstream.ErrInvalidOptions, len(batch.Requests), maxBatchItems))
+		return
+	}
+
+	// Phase 1 (pre-admission): validate every spec and serve what the
+	// cache already holds. Only specs that need a fresh run go on to
+	// admission.
+	items := make([]BatchItem, len(batch.Requests))
+	datasets := make([]*Dataset, len(batch.Requests))
+	var pending []int
+	for i, req := range batch.Requests {
+		if err := req.validate("estimate"); err != nil {
+			items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
+			continue
+		}
+		ds, ok := s.cat.Get(req.Graph)
+		if !ok {
+			err := fmt.Errorf("%w %q", ErrUnknownGraph, req.Graph)
+			items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
+			continue
+		}
+		datasets[i] = ds
+		if s.cache != nil {
+			if resp, ok := s.cache.Get(req.key("estimate", ds.Fingerprint())); ok {
+				r := resp
+				items[i] = BatchItem{Result: &r, Status: http.StatusOK, Cache: string(CacheHit)}
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	// Phase 2: one admission covers every fresh run in the batch.
+	if len(pending) > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
+		defer cancel()
+		release, err := s.pool.Acquire(ctx)
+		if err != nil {
+			for _, i := range pending {
+				items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
+			}
+		} else {
+			defer release()
+			for _, i := range pending {
+				items[i] = s.batchRun(ctx, batch.Requests[i], datasets[i])
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+}
+
+// batchRun executes one pending batch item under the batch's worker slot
+// and publishes the result to the cache.
+func (s *Server) batchRun(ctx context.Context, req EstimateRequest, ds *Dataset) BatchItem {
+	ictx, cancel := context.WithTimeout(ctx, s.timeoutFor(req))
+	defer cancel()
+	resp, err := s.run(ictx, "estimate", req, ds)
+	if err != nil {
+		return BatchItem{Error: err.Error(), Status: statusOf(err)}
+	}
+	outcome := CacheBypass
+	if s.cache != nil {
+		s.cache.Put(req.key("estimate", ds.Fingerprint()), resp)
+		outcome = CacheMiss
+	}
+	return BatchItem{Result: &resp, Status: http.StatusOK, Cache: string(outcome)}
 }
 
 // handleGraphs serves GET /v1/graphs.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"time"
 
 	"adjstream/internal/telemetry"
@@ -24,6 +25,15 @@ import (
 //	serve.pool.queue_depth  high-water — peak waiting requests
 //	serve.pool.admitted     counter    — requests granted a slot
 //	serve.pool.rejected     counter    — admissions refused (429s)
+//
+// and for the result cache:
+//
+//	serve.cache.hits               counter — responses served from the cache
+//	serve.cache.misses             counter — lookups that ran the estimation
+//	serve.cache.evictions          counter — entries dropped (LRU or TTL)
+//	serve.cache.coalesced          counter — requests that joined an
+//	                                         in-progress identical run
+//	serve.cache.shard.NN.entries   gauge   — per-shard occupancy
 type endpointTele struct {
 	requests *telemetry.Counter
 	errors   *telemetry.Counter
@@ -88,4 +98,47 @@ func teleForPool() poolTele {
 		admitted:   r.Counter("serve.pool.admitted"),
 		rejected:   r.Counter("serve.pool.rejected"),
 	}
+}
+
+// cacheTele is the result cache's handle set.
+type cacheTele struct {
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	coalesced *telemetry.Counter
+	reg       *telemetry.Registry
+}
+
+// cacheShardGauges holds the per-shard occupancy metric names, built once.
+var cacheShardGauges = func() [cacheShards]string {
+	var names [cacheShards]string
+	for i := range names {
+		names[i] = fmt.Sprintf("serve.cache.shard.%02d.entries", i)
+	}
+	return names
+}()
+
+// teleForCache binds the cache handles, or the all-nil zero value when
+// telemetry is disabled.
+func teleForCache() cacheTele {
+	r := telemetry.Global()
+	if r == nil {
+		return cacheTele{}
+	}
+	return cacheTele{
+		hits:      r.Counter("serve.cache.hits"),
+		misses:    r.Counter("serve.cache.misses"),
+		evictions: r.Counter("serve.cache.evictions"),
+		coalesced: r.Counter("serve.cache.coalesced"),
+		reg:       r,
+	}
+}
+
+// occupancy publishes the entry count of one shard (off the hot lookup
+// path: it runs only on puts and evictions).
+func (t cacheTele) occupancy(shard, n int) {
+	if t.reg == nil {
+		return
+	}
+	t.reg.Gauge(cacheShardGauges[shard]).Set(int64(n))
 }
