@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-json journal-smoke serve-smoke cache-smoke cover all
+.PHONY: build test race vet bench bench-smoke bench-json bench-baseline bench-gate journal-smoke serve-smoke cache-smoke cover all
 
 all: build vet test
 
@@ -53,6 +53,30 @@ cache-smoke:
 bench-json:
 	$(GO) test -run=NONE -bench=. -benchmem ./... \
 		| $(GO) run ./cmd/bench2json -out BENCH_$$(date +%Y-%m-%d).json
+
+# Refresh the committed benchmark baseline: full bench-json run, then stage
+# the archive so the next commit carries it. bench-gate diffs against the
+# newest committed BENCH_*.json, so rerun this after intentional perf
+# changes (on a quiet machine — the baseline is only as good as the run).
+bench-baseline: bench-json
+	git add BENCH_*.json
+
+# Key benchmarks that gate performance regressions. Sub-benchmarks of these
+# are gated too; everything else is context-only in the benchdiff table.
+BENCH_GATE_KEYS = BenchmarkBroadcastK32|BenchmarkExactKernels|BenchmarkEstimateColdVsCached
+BENCH_GATE_PKGS = ./internal/stream/ ./internal/graph/ ./internal/serve/
+
+# Perf regression gate: run only the key benchmarks briefly, convert to
+# JSON, and diff against the newest committed BENCH_*.json baseline.
+# Fails (exit 1) on a >15% ns/op regression. The benchtime is time-based,
+# not -benchtime=Nx: a fixed iteration count is dominated by warmup on
+# sub-100µs benchmarks and reads far slower than the 1s-benchtime
+# baseline. CI runs the same pipeline with a looser threshold to absorb
+# hosted-runner noise.
+bench-gate:
+	$(GO) test -run=NONE -bench='$(BENCH_GATE_KEYS)' -benchtime=0.3s $(BENCH_GATE_PKGS) \
+		| $(GO) run ./cmd/bench2json -out /tmp/bench-gate.json
+	$(GO) run ./cmd/benchdiff -new /tmp/bench-gate.json
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

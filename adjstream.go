@@ -105,14 +105,46 @@ func ReadEdgeListFile(path string) (*Graph, error) {
 	return ReadEdgeList(f)
 }
 
-// ReadStreamFile reads a stream file from disk.
+// ReadStreamFile reads a stream file from disk, sniffing the format by its
+// 4-byte magic: "adjC" columnar, "adj1" compact binary, anything else text.
+// The returned stream owns its memory; use OpenStreamFile to memory-map a
+// columnar file instead of copying it.
 func ReadStreamFile(path string) (*Stream, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("adjstream: %w", err)
 	}
 	defer f.Close()
-	return ReadStream(f)
+	s, err := stream.ReadAny(f)
+	if err != nil {
+		return nil, fmt.Errorf("adjstream: %w", err)
+	}
+	return s, nil
+}
+
+// MappedStream is a Stream backed by a memory-mapped columnar file; see
+// OpenMappedStream.
+type MappedStream = stream.Mapped
+
+// OpenMappedStream memory-maps a columnar ("adjC") stream file written by
+// WriteStreamFile or genstream -format colstream. Replay touches the mapped
+// pages directly — no parse cost, no heap copy of the columns. Close the
+// returned stream when done.
+func OpenMappedStream(path string) (*MappedStream, error) {
+	return stream.OpenMapped(path)
+}
+
+// OpenStreamFile opens a stream file of any supported format, memory-mapping
+// columnar files and reading the others. The returned closer must be called
+// once the stream is no longer used; it is never nil.
+func OpenStreamFile(path string) (*Stream, func() error, error) {
+	return stream.OpenFile(path)
+}
+
+// WriteStreamFile writes s to path in the mmap-able columnar format read by
+// OpenMappedStream.
+func WriteStreamFile(path string, s *Stream) error {
+	return stream.WriteFile(path, s)
 }
 
 // Driver selects how parallel median copies are executed over the stream.

@@ -100,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	driver := fs.String("driver", "broadcast", "parallel execution driver: broadcast (single stream read per pass) or replay (one read per copy)")
 	seed := fs.Uint64("seed", 1, "seed for all randomness")
 	order := fs.String("order", "sorted", "stream order for edge-list input: sorted or random")
-	isStream := fs.Bool("stream", false, "input is an adjacency-list stream file, not an edge list")
+	isStream := fs.Bool("stream", false, "input is an adjacency-list stream file (text, adj1 binary, or adjC columnar; columnar files are memory-mapped), not an edge list")
 	compare := fs.Bool("compare", false, "run every algorithm at the given budget and tabulate")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -130,11 +130,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cyclecount: telemetry on http://%s/debug/vars (pprof under /debug/pprof/)\n", ln.Addr())
 	}
 
-	s, err := loadStream(fs.Arg(0), *isStream, *order, *seed)
+	s, closeStream, err := loadStream(fs.Arg(0), *isStream, *order, *seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "cyclecount:", err)
 		return 1
 	}
+	defer closeStream()
 
 	// The run context carries -timeout and Ctrl-C, so a too-slow pass is
 	// abandoned at the next batch boundary instead of running to the end.
@@ -181,21 +182,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func loadStream(path string, isStream bool, order string, seed uint64) (*adjstream.Stream, error) {
+func loadStream(path string, isStream bool, order string, seed uint64) (*adjstream.Stream, func() error, error) {
 	if isStream {
-		return adjstream.ReadStreamFile(path)
+		return adjstream.OpenStreamFile(path)
 	}
+	noop := func() error { return nil }
 	g, err := adjstream.ReadEdgeListFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch order {
 	case "sorted":
-		return adjstream.SortedStream(g), nil
+		return adjstream.SortedStream(g), noop, nil
 	case "random":
-		return adjstream.RandomStream(g, seed), nil
+		return adjstream.RandomStream(g, seed), noop, nil
 	default:
-		return nil, fmt.Errorf("unknown order %q", order)
+		return nil, nil, fmt.Errorf("unknown order %q", order)
 	}
 }
 

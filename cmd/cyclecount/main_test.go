@@ -72,6 +72,23 @@ func TestRunStreamInput(t *testing.T) {
 	}
 }
 
+// TestRunColumnarStreamInput drives the exact counter from a memory-mapped
+// columnar stream file.
+func TestRunColumnarStreamInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.adjc")
+	if err := adjstream.WriteStreamFile(path, adjstream.SortedStream(gen.Complete(5))); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-stream", "-algo", "exact", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "estimate:    10.00") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
 func TestRunCompare(t *testing.T) {
 	path := writeFixture(t)
 	var out, errw bytes.Buffer

@@ -40,7 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	q := fs.Int64("q", 5, "projective plane order (prime power)")
 	gamma := fs.Float64("gamma", 2.5, "power-law exponent (chunglu)")
 	seed := fs.Uint64("seed", 1, "seed")
-	format := fs.String("format", "edges", "output format: edges, stream, or binstream")
+	format := fs.String("format", "edges", "output format: edges, stream, binstream, or colstream (mmap-able columnar)")
 	order := fs.String("order", "random", "stream order: sorted or random (with stream formats)")
 	out := fs.String("out", "", "output path (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -66,17 +66,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch *format {
 	case "edges":
 		err = adjstream.WriteEdgeList(w, g)
-	case "stream", "binstream":
+	case "stream", "binstream", "colstream":
 		var s *adjstream.Stream
 		if *order == "sorted" {
 			s = adjstream.SortedStream(g)
 		} else {
 			s = adjstream.RandomStream(g, *seed)
 		}
-		if *format == "stream" {
+		switch *format {
+		case "stream":
 			err = adjstream.WriteStream(w, s)
-		} else {
+		case "binstream":
 			err = stream.WriteBinary(w, s)
+		case "colstream":
+			err = stream.WriteColumnar(w, s)
 		}
 	default:
 		err = fmt.Errorf("unknown format %q", *format)

@@ -65,6 +65,24 @@ func TestRunStreamFormats(t *testing.T) {
 	if s2.M() != 15 {
 		t.Fatalf("binary M = %d", s2.M())
 	}
+
+	colPath := filepath.Join(dir, "g.adjc")
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-kind", "complete", "-n", "6", "-format", "colstream", "-order", "sorted", "-out", colPath}, &out, &errw); code != 0 {
+		t.Fatalf("exit: %s", errw.String())
+	}
+	m, err := stream.OpenMapped(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.M() != 15 {
+		t.Fatalf("columnar M = %d", m.M())
+	}
+	if got, want := m.Items(), s.Items(); len(got) != len(want) {
+		t.Fatalf("columnar stream has %d items, text stream %d", len(got), len(want))
+	}
 }
 
 func TestRunErrors(t *testing.T) {

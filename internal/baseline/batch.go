@@ -1,0 +1,129 @@
+package baseline
+
+// Columnar fast paths — see internal/core/batch.go for the shared shape.
+// Each EdgeBatch walks the run offsets, replaying the exact
+// Edge/StartList/EndList sequence of the item driver with direct (inlinable)
+// method calls, carrying the open-list cursor across batches per the
+// stream.BatchAlgorithm contract.
+
+import (
+	"adjstream/internal/graph"
+	"adjstream/internal/stream"
+)
+
+var (
+	_ stream.BatchAlgorithm = (*OnePassTriangle)(nil)
+	_ stream.BatchAlgorithm = (*OnePassFourCycle)(nil)
+	_ stream.BatchAlgorithm = (*ExactStream)(nil)
+	_ stream.BatchAlgorithm = (*LocalTriangles)(nil)
+	_ stream.BatchAlgorithm = (*WedgeSampler)(nil)
+	_ stream.BatchAlgorithm = (*StreamStats)(nil)
+)
+
+// EdgeBatch implements stream.BatchAlgorithm.
+func (o *OnePassTriangle) EdgeBatch(owners, nbrs []uint32, runs []int32) {
+	i := 0
+	for _, b := range runs {
+		for ; i < int(b); i++ {
+			o.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+		}
+		if o.cur.Open {
+			o.EndList(o.cur.Owner)
+		}
+		o.cur = stream.ListCursor{Owner: graph.V(owners[b]), Open: true}
+		o.StartList(o.cur.Owner)
+	}
+	for ; i < len(owners); i++ {
+		o.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+	}
+}
+
+// EdgeBatch implements stream.BatchAlgorithm.
+func (o *OnePassFourCycle) EdgeBatch(owners, nbrs []uint32, runs []int32) {
+	i := 0
+	for _, b := range runs {
+		for ; i < int(b); i++ {
+			o.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+		}
+		if o.cur.Open {
+			o.EndList(o.cur.Owner)
+		}
+		o.cur = stream.ListCursor{Owner: graph.V(owners[b]), Open: true}
+		o.StartList(o.cur.Owner)
+	}
+	for ; i < len(owners); i++ {
+		o.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+	}
+}
+
+// EdgeBatch implements stream.BatchAlgorithm.
+func (e *ExactStream) EdgeBatch(owners, nbrs []uint32, runs []int32) {
+	i := 0
+	for _, b := range runs {
+		for ; i < int(b); i++ {
+			e.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+		}
+		if e.cur.Open {
+			e.EndList(e.cur.Owner)
+		}
+		e.cur = stream.ListCursor{Owner: graph.V(owners[b]), Open: true}
+		e.StartList(e.cur.Owner)
+	}
+	for ; i < len(owners); i++ {
+		e.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+	}
+}
+
+// EdgeBatch implements stream.BatchAlgorithm.
+func (l *LocalTriangles) EdgeBatch(owners, nbrs []uint32, runs []int32) {
+	i := 0
+	for _, b := range runs {
+		for ; i < int(b); i++ {
+			l.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+		}
+		if l.cur.Open {
+			l.EndList(l.cur.Owner)
+		}
+		l.cur = stream.ListCursor{Owner: graph.V(owners[b]), Open: true}
+		l.StartList(l.cur.Owner)
+	}
+	for ; i < len(owners); i++ {
+		l.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+	}
+}
+
+// EdgeBatch implements stream.BatchAlgorithm.
+func (w *WedgeSampler) EdgeBatch(owners, nbrs []uint32, runs []int32) {
+	i := 0
+	for _, b := range runs {
+		for ; i < int(b); i++ {
+			w.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+		}
+		if w.cur.Open {
+			w.EndList(w.cur.Owner)
+		}
+		w.cur = stream.ListCursor{Owner: graph.V(owners[b]), Open: true}
+		w.StartList(w.cur.Owner)
+	}
+	for ; i < len(owners); i++ {
+		w.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+	}
+}
+
+// EdgeBatch implements stream.BatchAlgorithm.
+func (c *StreamStats) EdgeBatch(owners, nbrs []uint32, runs []int32) {
+	i := 0
+	for _, b := range runs {
+		for ; i < int(b); i++ {
+			c.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+		}
+		if c.cur.Open {
+			c.EndList(c.cur.Owner)
+		}
+		c.cur = stream.ListCursor{Owner: graph.V(owners[b]), Open: true}
+		c.StartList(c.cur.Owner)
+	}
+	for ; i < len(owners); i++ {
+		c.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+	}
+}

@@ -16,6 +16,7 @@ type ExactStream struct {
 	builder  *graph.Builder
 	items    int64
 	meter    space.Meter
+	cur      stream.ListCursor
 }
 
 var _ stream.Estimator = (*ExactStream)(nil)
@@ -34,7 +35,7 @@ func NewExactStream(cycleLen int) (*ExactStream, error) {
 func (e *ExactStream) Passes() int { return 1 }
 
 // StartPass implements stream.Algorithm.
-func (e *ExactStream) StartPass(p int) {}
+func (e *ExactStream) StartPass(p int) { e.cur = stream.ListCursor{} }
 
 // StartList implements stream.Algorithm.
 func (e *ExactStream) StartList(owner graph.V) {}

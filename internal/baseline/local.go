@@ -28,6 +28,7 @@ type LocalTriangles struct {
 	items  int64
 	m      int64
 	meter  space.Meter
+	cur    stream.ListCursor
 }
 
 // detectorLite reuses the core detection idea locally: sampled edges with
@@ -68,6 +69,7 @@ func (l *LocalTriangles) Passes() int { return 2 }
 func (l *LocalTriangles) StartPass(p int) {
 	l.pass = p
 	l.pos = 0
+	l.cur = stream.ListCursor{}
 }
 
 // StartList implements stream.Algorithm.

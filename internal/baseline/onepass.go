@@ -67,6 +67,7 @@ type OnePassTriangle struct {
 	m     int64
 	found int64
 	meter space.Meter
+	cur   stream.ListCursor
 }
 
 var _ stream.Estimator = (*OnePassTriangle)(nil)
@@ -99,7 +100,7 @@ func NewOnePassTriangle(cfg Config) (*OnePassTriangle, error) {
 func (o *OnePassTriangle) Passes() int { return 1 }
 
 // StartPass implements stream.Algorithm.
-func (o *OnePassTriangle) StartPass(p int) {}
+func (o *OnePassTriangle) StartPass(p int) { o.cur = stream.ListCursor{} }
 
 // StartList implements stream.Algorithm.
 func (o *OnePassTriangle) StartList(owner graph.V) {}

@@ -23,6 +23,7 @@ type OnePassFourCycle struct {
 	items int64
 	m     int64
 	meter space.Meter
+	cur   stream.ListCursor
 }
 
 var _ stream.Estimator = (*OnePassFourCycle)(nil)
@@ -47,7 +48,7 @@ func NewOnePassFourCycle(cfg Config) (*OnePassFourCycle, error) {
 func (o *OnePassFourCycle) Passes() int { return 1 }
 
 // StartPass implements stream.Algorithm.
-func (o *OnePassFourCycle) StartPass(p int) {}
+func (o *OnePassFourCycle) StartPass(p int) { o.cur = stream.ListCursor{} }
 
 // StartList implements stream.Algorithm.
 func (o *OnePassFourCycle) StartList(owner graph.V) {}

@@ -44,6 +44,7 @@ type WedgeSampler struct {
 	m      int64
 	closed int64
 	meter  space.Meter
+	cur    stream.ListCursor
 }
 
 var _ stream.Estimator = (*WedgeSampler)(nil)
@@ -78,7 +79,7 @@ func NewWedgeSampler(cfg Config) (*WedgeSampler, error) {
 func (w *WedgeSampler) Passes() int { return 1 }
 
 // StartPass implements stream.Algorithm.
-func (w *WedgeSampler) StartPass(p int) {}
+func (w *WedgeSampler) StartPass(p int) { w.cur = stream.ListCursor{} }
 
 // StartList implements stream.Algorithm.
 func (w *WedgeSampler) StartList(owner graph.V) {}

@@ -67,6 +67,7 @@ func (c AdaptiveConfig) withDefaults() (AdaptiveConfig, error) {
 type AdaptiveTwoPassTriangle struct {
 	inner *TwoPassTriangle
 	cfg   AdaptiveConfig
+	cur   stream.ListCursor
 }
 
 var _ stream.Estimator = (*AdaptiveTwoPassTriangle)(nil)
@@ -92,7 +93,10 @@ func NewAdaptiveTwoPassTriangle(cfg AdaptiveConfig) (*AdaptiveTwoPassTriangle, e
 func (a *AdaptiveTwoPassTriangle) Passes() int { return a.inner.Passes() }
 
 // StartPass implements stream.Algorithm.
-func (a *AdaptiveTwoPassTriangle) StartPass(p int) { a.inner.StartPass(p) }
+func (a *AdaptiveTwoPassTriangle) StartPass(p int) {
+	a.inner.StartPass(p)
+	a.cur = stream.ListCursor{}
+}
 
 // StartList implements stream.Algorithm.
 func (a *AdaptiveTwoPassTriangle) StartList(v graph.V) { a.inner.StartList(v) }

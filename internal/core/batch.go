@@ -1,0 +1,116 @@
+package core
+
+// Columnar fast paths. Every estimator in this package implements
+// stream.BatchAlgorithm with the same segment loop: walk the run offsets,
+// emitting the Edge/StartList/EndList transitions the item driver would
+// have produced, with the open-list cursor (reset in StartPass) carried
+// across batches and the final list closed by the driver per the
+// BatchAlgorithm contract. The loops are written out per type rather than
+// shared through a helper so the Edge/StartList/EndList calls are direct
+// concrete-method calls the compiler can inline, which is the point of the
+// batch path; the root batch-equality tests pin each one to the item path.
+
+import (
+	"adjstream/internal/graph"
+	"adjstream/internal/stream"
+)
+
+var (
+	_ stream.BatchAlgorithm = (*TwoPassTriangle)(nil)
+	_ stream.BatchAlgorithm = (*ThreePassTriangle)(nil)
+	_ stream.BatchAlgorithm = (*NaiveTwoPass)(nil)
+	_ stream.BatchAlgorithm = (*TwoPassFourCycle)(nil)
+	_ stream.BatchAlgorithm = (*AdaptiveTwoPassTriangle)(nil)
+)
+
+// EdgeBatch implements stream.BatchAlgorithm.
+func (t *TwoPassTriangle) EdgeBatch(owners, nbrs []uint32, runs []int32) {
+	i := 0
+	for _, b := range runs {
+		for ; i < int(b); i++ {
+			t.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+		}
+		if t.cur.Open {
+			t.EndList(t.cur.Owner)
+		}
+		t.cur = stream.ListCursor{Owner: graph.V(owners[b]), Open: true}
+		t.StartList(t.cur.Owner)
+	}
+	for ; i < len(owners); i++ {
+		t.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+	}
+}
+
+// EdgeBatch implements stream.BatchAlgorithm.
+func (t *ThreePassTriangle) EdgeBatch(owners, nbrs []uint32, runs []int32) {
+	i := 0
+	for _, b := range runs {
+		for ; i < int(b); i++ {
+			t.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+		}
+		if t.cur.Open {
+			t.EndList(t.cur.Owner)
+		}
+		t.cur = stream.ListCursor{Owner: graph.V(owners[b]), Open: true}
+		t.StartList(t.cur.Owner)
+	}
+	for ; i < len(owners); i++ {
+		t.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+	}
+}
+
+// EdgeBatch implements stream.BatchAlgorithm.
+func (n *NaiveTwoPass) EdgeBatch(owners, nbrs []uint32, runs []int32) {
+	i := 0
+	for _, b := range runs {
+		for ; i < int(b); i++ {
+			n.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+		}
+		if n.cur.Open {
+			n.EndList(n.cur.Owner)
+		}
+		n.cur = stream.ListCursor{Owner: graph.V(owners[b]), Open: true}
+		n.StartList(n.cur.Owner)
+	}
+	for ; i < len(owners); i++ {
+		n.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+	}
+}
+
+// EdgeBatch implements stream.BatchAlgorithm.
+func (f *TwoPassFourCycle) EdgeBatch(owners, nbrs []uint32, runs []int32) {
+	i := 0
+	for _, b := range runs {
+		for ; i < int(b); i++ {
+			f.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+		}
+		if f.cur.Open {
+			f.EndList(f.cur.Owner)
+		}
+		f.cur = stream.ListCursor{Owner: graph.V(owners[b]), Open: true}
+		f.StartList(f.cur.Owner)
+	}
+	for ; i < len(owners); i++ {
+		f.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+	}
+}
+
+// EdgeBatch implements stream.BatchAlgorithm. The transitions go through
+// the adaptive wrapper's own EndList so the pass-one budget adaptation runs
+// exactly where the item driver would have run it.
+func (a *AdaptiveTwoPassTriangle) EdgeBatch(owners, nbrs []uint32, runs []int32) {
+	i := 0
+	for _, b := range runs {
+		for ; i < int(b); i++ {
+			a.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+		}
+		if a.cur.Open {
+			a.EndList(a.cur.Owner)
+		}
+		a.cur = stream.ListCursor{Owner: graph.V(owners[b]), Open: true}
+		a.StartList(a.cur.Owner)
+	}
+	for ; i < len(owners); i++ {
+		a.Edge(graph.V(owners[i]), graph.V(nbrs[i]))
+	}
+}

@@ -72,6 +72,7 @@ type TwoPassFourCycle struct {
 	m     int64
 	meter space.Meter
 	tele  estTele
+	cur   stream.ListCursor
 }
 
 var _ stream.Estimator = (*TwoPassFourCycle)(nil)
@@ -95,7 +96,10 @@ func NewTwoPassFourCycle(cfg FourCycleConfig) (*TwoPassFourCycle, error) {
 func (f *TwoPassFourCycle) Passes() int { return 2 }
 
 // StartPass implements stream.Algorithm.
-func (f *TwoPassFourCycle) StartPass(p int) { f.pass = p }
+func (f *TwoPassFourCycle) StartPass(p int) {
+	f.pass = p
+	f.cur = stream.ListCursor{}
+}
 
 // StartList implements stream.Algorithm.
 func (f *TwoPassFourCycle) StartList(owner graph.V) {}

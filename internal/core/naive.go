@@ -26,6 +26,7 @@ type NaiveTwoPass struct {
 	m     int64
 	found int64 // N = Σ_{e∈S} T(e)
 	meter space.Meter
+	cur   stream.ListCursor
 }
 
 var _ stream.Estimator = (*NaiveTwoPass)(nil)
@@ -60,6 +61,7 @@ func (n *NaiveTwoPass) Passes() int { return 2 }
 func (n *NaiveTwoPass) StartPass(p int) {
 	n.pass = p
 	n.pos = 0
+	n.cur = stream.ListCursor{}
 }
 
 // StartList implements stream.Algorithm.

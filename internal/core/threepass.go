@@ -30,6 +30,7 @@ type ThreePassTriangle struct {
 	items int64
 	m     int64
 	meter space.Meter
+	cur   stream.ListCursor
 }
 
 var _ stream.Estimator = (*ThreePassTriangle)(nil)
@@ -60,6 +61,7 @@ func (t *ThreePassTriangle) Passes() int { return 3 }
 func (t *ThreePassTriangle) StartPass(p int) {
 	t.pass = p
 	t.pos = 0
+	t.cur = stream.ListCursor{}
 }
 
 // StartList implements stream.Algorithm.

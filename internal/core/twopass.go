@@ -83,6 +83,7 @@ type TwoPassTriangle struct {
 	meter  space.Meter
 	tele   estTele
 	inList bool
+	cur    stream.ListCursor
 }
 
 var _ stream.Estimator = (*TwoPassTriangle)(nil)
@@ -115,6 +116,7 @@ func (t *TwoPassTriangle) StartPass(p int) {
 	t.pass = p
 	t.pos = 0
 	t.inList = false
+	t.cur = stream.ListCursor{}
 }
 
 // StartList implements stream.Algorithm.

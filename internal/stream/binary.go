@@ -32,16 +32,17 @@ func WriteBinary(w io.Writer, s *Stream) error {
 		_, err := bw.Write(buf[:n])
 		return err
 	}
-	if err := putUvarint(uint64(len(s.items))); err != nil {
+	items := s.Items()
+	if err := putUvarint(uint64(len(items))); err != nil {
 		return fmt.Errorf("stream: write binary: %w", err)
 	}
 	i := 0
-	for i < len(s.items) {
+	for i < len(items) {
 		j := i
-		for j < len(s.items) && s.items[j].Owner == s.items[i].Owner {
+		for j < len(items) && items[j].Owner == items[i].Owner {
 			j++
 		}
-		if err := putVarint(int64(s.items[i].Owner)); err != nil {
+		if err := putVarint(int64(items[i].Owner)); err != nil {
 			return fmt.Errorf("stream: write binary: %w", err)
 		}
 		if err := putUvarint(uint64(j - i)); err != nil {
@@ -51,7 +52,7 @@ func WriteBinary(w io.Writer, s *Stream) error {
 		// (signed: within-list order may be arbitrary).
 		prev := int64(0)
 		for k := i; k < j; k++ {
-			v := int64(s.items[k].Nbr)
+			v := int64(items[k].Nbr)
 			if err := putVarint(v - prev); err != nil {
 				return fmt.Errorf("stream: write binary: %w", err)
 			}

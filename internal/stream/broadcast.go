@@ -189,7 +189,7 @@ func RunBroadcastConfigContext(ctx context.Context, s *Stream, ests []Estimator,
 		}
 		start := tt.startPass()
 		err := broadcastPass(ctx, s, active, p, cfg, &dc)
-		tt.endPass(start, int64(len(s.items)), int64(len(s.items))*int64(len(active)))
+		tt.endPass(start, int64(s.Len()), int64(s.Len())*int64(len(active)))
 		passes = p + 1
 		if err != nil {
 			runErr = err
@@ -205,13 +205,20 @@ func RunBroadcastConfigContext(ctx context.Context, s *Stream, ests []Estimator,
 
 // broadcastPass performs pass p: one producer reads the stream, a bounded
 // pool of workers (each owning a contiguous shard of the active copies)
-// consumes batches and replays the item-at-a-time callback protocol of
-// runPass for every copy in its shard. Cancellation is polled per batch
-// send; on a cancelled ctx the producer stops early, closes the channels so
-// the workers drain and exit, and returns ctx.Err().
+// consumes batches and replays the callback protocol for every copy in its
+// shard — EdgeBatch for batch-capable copies, the item-at-a-time protocol
+// of runPass for the rest. Cancellation is polled per batch send; on a
+// cancelled ctx the producer stops early, closes the channels so the
+// workers drain and exit, and returns ctx.Err().
+//
+// Streams whose ids do not fit the uint32 columns have no chunks and use
+// the legacy []Item fan-out.
 func broadcastPass(ctx context.Context, s *Stream, active []Estimator, p int, cfg BroadcastConfig, dc *driverCounters) error {
 	if len(active) == 0 {
 		return nil
+	}
+	if s.chunks != nil {
+		return broadcastPassColumnar(ctx, s, active, p, cfg, dc)
 	}
 	workers := cfg.Workers
 	if workers > len(active) {
@@ -231,7 +238,7 @@ func broadcastPass(ctx context.Context, s *Stream, active []Estimator, p int, cf
 			dc.itemsDelivered.Add(runShardPass(shard, p, ch))
 		}(active[lo:hi], ch)
 	}
-	items := s.items
+	items := s.Items()
 	done := ctx.Done()
 	var batches, read int64
 producer:
@@ -263,6 +270,78 @@ producer:
 			}
 		}
 		read = int64(j)
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	dc.batches.Add(batches)
+	dc.streamItemsRead.Add(read)
+	return ctx.Err()
+}
+
+// colBatch is one columnar fan-out unit: views into a chunk's columns (or
+// freshly rebased runs when BatchSize slices a chunk). Immutable once sent.
+type colBatch struct {
+	owners, nbrs []uint32
+	runs         []int32
+}
+
+// broadcastPassColumnar is broadcastPass over the chunked form. With the
+// default configuration (BatchSize == DefaultChunkItems) every batch is a
+// whole chunk and the producer allocates nothing; smaller batch sizes slice
+// chunks and rebase the run offsets per slice.
+func broadcastPassColumnar(ctx context.Context, s *Stream, active []Estimator, p int, cfg BroadcastConfig, dc *driverCounters) error {
+	workers := cfg.Workers
+	if workers > len(active) {
+		workers = len(active)
+	}
+	chans := make([]chan colBatch, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := shardBounds(len(active), workers, w)
+		ch := make(chan colBatch, cfg.QueueDepth)
+		chans[w] = ch
+		wg.Add(1)
+		go func(shard []Estimator, ch <-chan colBatch) {
+			defer wg.Done()
+			dc.itemsDelivered.Add(runShardPassColumnar(shard, p, ch))
+		}(active[lo:hi], ch)
+	}
+	done := ctx.Done()
+	var batches, read int64
+producer:
+	for ci := range s.chunks {
+		c := &s.chunks[ci]
+		for i := 0; i < len(c.Owners); i += cfg.BatchSize {
+			j := i + cfg.BatchSize
+			if j > len(c.Owners) {
+				j = len(c.Owners)
+			}
+			batch := colBatch{
+				owners: c.Owners[i:j],
+				nbrs:   c.Nbrs[i:j],
+				runs:   runsWindow(c.Runs, i, j),
+			}
+			if done == nil {
+				for _, ch := range chans {
+					dc.observeQueueDepth(int64(len(ch)))
+					ch <- batch
+					batches++
+				}
+			} else {
+				for _, ch := range chans {
+					dc.observeQueueDepth(int64(len(ch)))
+					select {
+					case ch <- batch:
+						batches++
+					case <-done:
+						break producer
+					}
+				}
+			}
+			read += int64(j - i)
+		}
 	}
 	for _, ch := range chans {
 		close(ch)
@@ -312,6 +391,81 @@ func runShardPass(shard []Estimator, p int, ch <-chan []Item) (delivered int64) 
 	}
 	if inList {
 		for _, e := range shard {
+			e.EndList(cur)
+		}
+	}
+	for _, e := range shard {
+		e.EndPass(p)
+	}
+	return delivered
+}
+
+// runShardPassColumnar replays pass p to every estimator in shard from
+// columnar batches. Batch-capable copies consume whole columns per
+// EdgeBatch call; the rest get the item protocol decoded from the columns,
+// with list boundaries read off the run offsets (which mark exactly the
+// owner changes runShardPass would detect). The final open list is closed
+// by the worker before EndPass, per the BatchAlgorithm contract.
+func runShardPassColumnar(shard []Estimator, p int, ch <-chan colBatch) (delivered int64) {
+	var batchers []BatchAlgorithm
+	var itemized []Estimator
+	for _, e := range shard {
+		if ba, ok := e.(BatchAlgorithm); ok {
+			batchers = append(batchers, ba)
+		} else {
+			itemized = append(itemized, e)
+		}
+	}
+	for _, e := range shard {
+		e.StartPass(p)
+	}
+	inList := false
+	var cur, last graph.V
+	open := false
+	for b := range ch {
+		delivered += int64(len(b.owners)) * int64(len(shard))
+		for _, ba := range batchers {
+			ba.EdgeBatch(b.owners, b.nbrs, b.runs)
+		}
+		if len(itemized) > 0 {
+			i := 0
+			for _, r := range b.runs {
+				for ; i < int(r); i++ {
+					o, n := graph.V(b.owners[i]), graph.V(b.nbrs[i])
+					for _, e := range itemized {
+						e.Edge(o, n)
+					}
+				}
+				if inList {
+					for _, e := range itemized {
+						e.EndList(cur)
+					}
+				}
+				cur = graph.V(b.owners[r])
+				inList = true
+				for _, e := range itemized {
+					e.StartList(cur)
+				}
+			}
+			for ; i < len(b.owners); i++ {
+				o, n := graph.V(b.owners[i]), graph.V(b.nbrs[i])
+				for _, e := range itemized {
+					e.Edge(o, n)
+				}
+			}
+		}
+		if n := len(b.owners); n > 0 {
+			last = graph.V(b.owners[n-1])
+			open = true
+		}
+	}
+	if open {
+		for _, ba := range batchers {
+			ba.EndList(last)
+		}
+	}
+	if inList {
+		for _, e := range itemized {
 			e.EndList(cur)
 		}
 	}

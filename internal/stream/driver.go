@@ -60,7 +60,7 @@ func RunContext(ctx context.Context, s *Stream, a Algorithm) error {
 		} else if err := runPassContext(ctx, s, a, p); err != nil {
 			return err
 		}
-		tt.endPass(start, int64(len(s.items)), int64(len(s.items)))
+		tt.endPass(start, int64(s.Len()), int64(s.Len()))
 	}
 	tt.copies.Add(1)
 	return nil
@@ -84,17 +84,21 @@ func RunOrders(streams []*Stream, a Algorithm) error {
 	for p := 0; p < a.Passes(); p++ {
 		start := tt.startPass()
 		runPass(streams[p], a, p)
-		tt.endPass(start, int64(len(streams[p].items)), int64(len(streams[p].items)))
+		tt.endPass(start, int64(streams[p].Len()), int64(streams[p].Len()))
 	}
 	tt.copies.Add(1)
 	return nil
 }
 
 func runPass(s *Stream, a Algorithm, p int) {
+	if ba, ok := a.(BatchAlgorithm); ok && s.chunks != nil {
+		runPassBatch(s, ba, p)
+		return
+	}
 	a.StartPass(p)
 	inList := false
 	var cur graph.V
-	for _, it := range s.items {
+	for _, it := range s.Items() {
 		if !inList || it.Owner != cur {
 			if inList {
 				a.EndList(cur)
@@ -111,14 +115,66 @@ func runPass(s *Stream, a Algorithm, p int) {
 	a.EndPass(p)
 }
 
+// runPassBatch is the columnar fast path: one EdgeBatch call per chunk, the
+// algorithm handling list transitions internally (see BatchAlgorithm), and
+// the driver closing the final open list before EndPass.
+func runPassBatch(s *Stream, ba BatchAlgorithm, p int) {
+	ba.StartPass(p)
+	var last graph.V
+	open := false
+	for i := range s.chunks {
+		c := &s.chunks[i]
+		if len(c.Owners) == 0 {
+			continue
+		}
+		ba.EdgeBatch(c.Owners, c.Nbrs, c.Runs)
+		last = graph.V(c.Owners[len(c.Owners)-1])
+		open = true
+	}
+	if open {
+		ba.EndList(last)
+	}
+	ba.EndPass(p)
+}
+
+// runPassBatchContext is runPassBatch with a cancellation poll per chunk —
+// the same granularity as the item path's CancelCheckItems blocks, since
+// DefaultChunkItems == CancelCheckItems. An aborted pass stops at a chunk
+// boundary without closing the open list.
+func runPassBatchContext(ctx context.Context, s *Stream, ba BatchAlgorithm, p int) error {
+	ba.StartPass(p)
+	var last graph.V
+	open := false
+	for i := range s.chunks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c := &s.chunks[i]
+		if len(c.Owners) == 0 {
+			continue
+		}
+		ba.EdgeBatch(c.Owners, c.Nbrs, c.Runs)
+		last = graph.V(c.Owners[len(c.Owners)-1])
+		open = true
+	}
+	if open {
+		ba.EndList(last)
+	}
+	ba.EndPass(p)
+	return nil
+}
+
 // runPassContext is runPass with a cancellation poll every CancelCheckItems
 // items. The callback protocol within a block is identical to runPass; an
 // aborted pass stops at a block boundary without closing the open list.
 func runPassContext(ctx context.Context, s *Stream, a Algorithm, p int) error {
+	if ba, ok := a.(BatchAlgorithm); ok && s.chunks != nil {
+		return runPassBatchContext(ctx, s, ba, p)
+	}
 	a.StartPass(p)
 	inList := false
 	var cur graph.V
-	items := s.items
+	items := s.Items()
 	for base := 0; base < len(items); base += CancelCheckItems {
 		if err := ctx.Err(); err != nil {
 			return err

@@ -13,7 +13,7 @@ import (
 // WriteText serializes the stream as one "owner neighbor" pair per line.
 func WriteText(w io.Writer, s *Stream) error {
 	bw := bufio.NewWriter(w)
-	for _, it := range s.items {
+	for _, it := range s.Items() {
 		if _, err := fmt.Fprintf(bw, "%d %d\n", it.Owner, it.Nbr); err != nil {
 			return fmt.Errorf("stream: write: %w", err)
 		}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package stream
+
+import "os"
+
+// mmapFile on platforms without the unix mmap syscalls reads the file into
+// memory; the false return tells the caller no munmap is needed.
+func mmapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+func munmapFile(data []byte) error { return nil }

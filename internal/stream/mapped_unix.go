@@ -1,0 +1,36 @@
+//go:build unix
+
+package stream
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The second return reports whether the bytes
+// are a real mapping (and must be released with munmapFile) rather than a
+// heap copy; empty files yield a nil, unmapped slice since zero-length
+// mappings are invalid.
+func mmapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	if fi.Size() == 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

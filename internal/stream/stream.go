@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
 
 	"adjstream/internal/graph"
 )
@@ -13,20 +14,57 @@ type Item struct {
 }
 
 // Stream is a finite adjacency-list stream. Construct with FromGraph,
-// FromItems, or the order helpers; a Stream is immutable and safe for
-// concurrent replay.
+// FromItems, the order helpers, or OpenMapped; a Stream is immutable and
+// safe for concurrent replay.
+//
+// The canonical storage is the columnar chunked form (see Chunk): flat
+// uint32 owner/neighbor columns plus list-boundary run offsets, which is
+// what the drivers iterate and what the binary file format maps. The legacy
+// row form is preserved behind the Items() adapter; streams whose vertex
+// ids exceed uint32 keep only the row form and are driven item-at-a-time.
 type Stream struct {
-	items []Item
-	lists int   // number of adjacency lists
-	m     int64 // number of distinct edges (= len(items)/2)
+	chunks []Chunk
+	n      int   // total number of items
+	lists  int   // number of adjacency lists
+	m      int64 // number of distinct edges (= n/2)
+
+	// items is the row-form adapter. In-memory constructors retain the
+	// slice they were built from; mapped streams materialize it lazily on
+	// first Items() call.
+	items     []Item
+	itemsOnce sync.Once
 }
 
-// Items returns the underlying item sequence. The slice is shared with the
-// stream and must not be modified.
-func (s *Stream) Items() []Item { return s.items }
+// newStream wraps already-validated items, building the columnar form when
+// every id fits the uint32 columns.
+func newStream(items []Item, lists int, m int64) *Stream {
+	return &Stream{
+		chunks: buildChunks(items, DefaultChunkItems),
+		n:      len(items),
+		lists:  lists,
+		m:      m,
+		items:  items,
+	}
+}
+
+// Items returns the stream in row form. The slice is shared with the
+// stream and must not be modified. For mapped streams the rows are decoded
+// from the columns once, on first use; the chunked drivers never call this.
+func (s *Stream) Items() []Item {
+	s.itemsOnce.Do(func() {
+		if s.items == nil {
+			s.items = decodeChunks(s.chunks, s.n)
+		}
+	})
+	return s.items
+}
+
+// Chunks returns the columnar form, or nil when the stream's ids do not fit
+// uint32. The chunks and their columns are shared and must not be modified.
+func (s *Stream) Chunks() []Chunk { return s.chunks }
 
 // Len returns the number of items (2m).
-func (s *Stream) Len() int { return len(s.items) }
+func (s *Stream) Len() int { return s.n }
 
 // M returns the number of distinct edges.
 func (s *Stream) M() int64 { return s.m }
@@ -39,9 +77,18 @@ func (s *Stream) Lists() int { return s.lists }
 // ListOrder returns the owners in arrival order.
 func (s *Stream) ListOrder() []graph.V {
 	out := make([]graph.V, 0, s.lists)
+	if s.chunks != nil {
+		for i := range s.chunks {
+			c := &s.chunks[i]
+			for _, r := range c.Runs {
+				out = append(out, graph.V(c.Owners[r]))
+			}
+		}
+		return out
+	}
 	var cur graph.V
 	first := true
-	for _, it := range s.items {
+	for _, it := range s.Items() {
 		if first || it.Owner != cur {
 			out = append(out, it.Owner)
 			cur = it.Owner
@@ -86,39 +133,41 @@ func Validate(items []Item) error {
 	return nil
 }
 
+// countLists returns the number of maximal same-owner runs in items.
+func countLists(items []Item) int {
+	lists := 0
+	var cur graph.V
+	first := true
+	for _, it := range items {
+		if first || it.Owner != cur {
+			lists++
+			cur = it.Owner
+			first = false
+		}
+	}
+	return lists
+}
+
 // FromItems wraps items into a Stream after validating the model promise.
 func FromItems(items []Item) (*Stream, error) {
 	if err := Validate(items); err != nil {
 		return nil, err
 	}
-	s := &Stream{items: items, m: int64(len(items)) / 2}
-	var cur graph.V
-	first := true
-	for _, it := range items {
-		if first || it.Owner != cur {
-			s.lists++
-			cur = it.Owner
-			first = false
-		}
-	}
-	return s, nil
+	return newStream(items, countLists(items), int64(len(items))/2), nil
 }
 
-// FromGraph builds a stream from g with the given adjacency-list arrival
-// order. listOrder must contain every vertex of g with degree ≥ 1 exactly
-// once (isolated vertices are permitted and skipped). Within each list,
-// neighbors appear in sorted order; use Shuffle* helpers for random orders.
-func FromGraph(g *graph.Graph, listOrder []graph.V) (*Stream, error) {
+// graphItems lays out g's lists in the given arrival order with sorted
+// neighbors, validating the list-order contract of FromGraph.
+func graphItems(g *graph.Graph, listOrder []graph.V) (items []Item, lists int, err error) {
 	seen := make(map[graph.V]bool, len(listOrder))
-	items := make([]Item, 0, 2*g.M())
-	lists := 0
+	items = make([]Item, 0, 2*g.M())
 	for _, v := range listOrder {
 		if seen[v] {
-			return nil, fmt.Errorf("stream: vertex %d repeated in list order", v)
+			return nil, 0, fmt.Errorf("stream: vertex %d repeated in list order", v)
 		}
 		seen[v] = true
 		if !g.HasVertex(v) {
-			return nil, fmt.Errorf("stream: vertex %d not in graph", v)
+			return nil, 0, fmt.Errorf("stream: vertex %d not in graph", v)
 		}
 		ns := g.Neighbors(v)
 		if len(ns) == 0 {
@@ -131,10 +180,22 @@ func FromGraph(g *graph.Graph, listOrder []graph.V) (*Stream, error) {
 	}
 	for _, v := range g.Vertices() {
 		if g.Degree(v) > 0 && !seen[v] {
-			return nil, fmt.Errorf("stream: vertex %d missing from list order", v)
+			return nil, 0, fmt.Errorf("stream: vertex %d missing from list order", v)
 		}
 	}
-	return &Stream{items: items, lists: lists, m: g.M()}, nil
+	return items, lists, nil
+}
+
+// FromGraph builds a stream from g with the given adjacency-list arrival
+// order. listOrder must contain every vertex of g with degree ≥ 1 exactly
+// once (isolated vertices are permitted and skipped). Within each list,
+// neighbors appear in sorted order; use the order helpers for random orders.
+func FromGraph(g *graph.Graph, listOrder []graph.V) (*Stream, error) {
+	items, lists, err := graphItems(g, listOrder)
+	if err != nil {
+		return nil, err
+	}
+	return newStream(items, lists, g.M()), nil
 }
 
 // Sorted returns the stream with lists in ascending vertex order and sorted
@@ -154,9 +215,10 @@ func Sorted(g *graph.Graph) *Stream {
 // (experiment M2): ascending neighbor order tends to present an edge's
 // second appearance before wedge-forming items, descending after.
 func SortedDesc(g *graph.Graph) *Stream {
-	s := Sorted(g)
-	items := make([]Item, len(s.items))
-	copy(items, s.items)
+	items, lists, err := graphItems(g, g.Vertices())
+	if err != nil {
+		panic(err)
+	}
 	i := 0
 	for i < len(items) {
 		j := i
@@ -168,7 +230,7 @@ func SortedDesc(g *graph.Graph) *Stream {
 		}
 		i = j
 	}
-	return &Stream{items: items, lists: s.lists, m: s.m}
+	return newStream(items, lists, g.M())
 }
 
 // Random returns a stream with a uniformly random list arrival order and
@@ -178,34 +240,34 @@ func Random(g *graph.Graph, seed uint64) *Stream {
 	order := make([]graph.V, len(g.Vertices()))
 	copy(order, g.Vertices())
 	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-	s, err := FromGraph(g, order)
+	items, lists, err := graphItems(g, order)
 	if err != nil {
 		panic(err)
 	}
-	shuffleWithinLists(s, rng)
-	return s
+	shuffleWithinLists(items, rng)
+	return newStream(items, lists, g.M())
 }
 
 // WithOrder returns a stream with the given list order and a seeded shuffle
 // within each list.
 func WithOrder(g *graph.Graph, listOrder []graph.V, seed uint64) (*Stream, error) {
-	s, err := FromGraph(g, listOrder)
+	items, lists, err := graphItems(g, listOrder)
 	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewPCG(seed, seed^0xa0761d6478bd642f))
-	shuffleWithinLists(s, rng)
-	return s, nil
+	shuffleWithinLists(items, rng)
+	return newStream(items, lists, g.M()), nil
 }
 
-func shuffleWithinLists(s *Stream, rng *rand.Rand) {
+func shuffleWithinLists(items []Item, rng *rand.Rand) {
 	i := 0
-	for i < len(s.items) {
+	for i < len(items) {
 		j := i
-		for j < len(s.items) && s.items[j].Owner == s.items[i].Owner {
+		for j < len(items) && items[j].Owner == items[i].Owner {
 			j++
 		}
-		seg := s.items[i:j]
+		seg := items[i:j]
 		rng.Shuffle(len(seg), func(a, b int) { seg[a], seg[b] = seg[b], seg[a] })
 		i = j
 	}
@@ -215,7 +277,7 @@ func shuffleWithinLists(s *Stream, rng *rand.Rand) {
 // cross-checking streams read from files.
 func (s *Stream) Graph() (*graph.Graph, error) {
 	b := graph.NewBuilder()
-	for _, it := range s.items {
+	for _, it := range s.Items() {
 		if it.Owner < it.Nbr {
 			if err := b.Add(it.Owner, it.Nbr); err != nil {
 				return nil, fmt.Errorf("stream: %w", err)
