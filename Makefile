@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-json bench-baseline bench-gate journal-smoke serve-smoke cache-smoke cover all
+.PHONY: build test race vet bench bench-smoke bench-json bench-baseline bench-gate journal-smoke serve-smoke cache-smoke merge-smoke cover all
 
 all: build vet test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/stream/... ./internal/core/... ./internal/graph/... ./internal/telemetry/... ./internal/serve/... ./cmd/adjserved/...
+	$(GO) test -race . ./internal/stream/... ./internal/core/... ./internal/baseline/... ./internal/graph/... ./internal/telemetry/... ./internal/serve/... ./cmd/adjserved/... ./cmd/adjmerge/...
 
 vet:
 	$(GO) vet ./...
@@ -63,7 +63,7 @@ bench-baseline: bench-json
 
 # Key benchmarks that gate performance regressions. Sub-benchmarks of these
 # are gated too; everything else is context-only in the benchdiff table.
-BENCH_GATE_KEYS = BenchmarkBroadcastK32|BenchmarkExactKernels|BenchmarkEstimateColdVsCached
+BENCH_GATE_KEYS = BenchmarkBroadcastK32|BenchmarkBroadcastPushK32|BenchmarkExactKernels|BenchmarkEstimateColdVsCached
 BENCH_GATE_PKGS = ./internal/stream/ ./internal/graph/ ./internal/serve/
 
 # Perf regression gate: run only the key benchmarks briefly, convert to
@@ -77,6 +77,23 @@ bench-gate:
 	$(GO) test -run=NONE -bench='$(BENCH_GATE_KEYS)' -benchtime=0.3s $(BENCH_GATE_PKGS) \
 		| $(GO) run ./cmd/bench2json -out /tmp/bench-gate.json
 	$(GO) run ./cmd/benchdiff -new /tmp/bench-gate.json
+
+# Split-run smoke: one 32-copy estimation split into four 8-copy shard
+# processes, each writing a snapshot set, merged back with adjmerge and
+# diffed against the unsplit parallel run. The six summary lines must match
+# exactly — the split is invisible in the output.
+merge-smoke:
+	@rm -rf /tmp/merge-smoke && mkdir -p /tmp/merge-smoke
+	$(GO) run ./cmd/genstream -kind er -n 300 -p 0.05 -seed 7 -out /tmp/merge-smoke/g.edges
+	$(GO) run ./cmd/cyclecount -algo twopass-triangle -prob 0.2 -copies 32 -parallel -seed 5 \
+		/tmp/merge-smoke/g.edges > /tmp/merge-smoke/single.txt
+	for r in 0:8 8:16 16:24 24:32; do \
+		$(GO) run ./cmd/cyclecount -algo twopass-triangle -prob 0.2 -copies 32 -parallel -seed 5 \
+			-copy-range $$r -snapshot /tmp/merge-smoke/shard-$${r%:*}.snap /tmp/merge-smoke/g.edges || exit 1; \
+	done
+	$(GO) run ./cmd/adjmerge /tmp/merge-smoke/shard-*.snap > /tmp/merge-smoke/merged.txt
+	head -6 /tmp/merge-smoke/single.txt | diff - /tmp/merge-smoke/merged.txt
+	@echo "merge-smoke: split+merge output matches the single run"
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -152,10 +152,17 @@ type Driver string
 
 // The available execution drivers for Parallel runs.
 const (
-	// DriverBroadcast reads the stream once per pass and fans items out to
-	// all copies through batched channels (the default): O(passes · 2m)
-	// stream-item reads regardless of the copy count.
+	// DriverBroadcast shares one read of the stream per pass among all
+	// copies (the default): O(passes · 2m) stream-item reads regardless of
+	// the copy count. Copies pull the stream's immutable chunks directly —
+	// no producer goroutine, no channel sends — in small windows that
+	// interleave independent copies' work.
 	DriverBroadcast Driver = "broadcast"
+	// DriverPushBroadcast is the legacy push-based broadcast: a producer
+	// goroutine fans batches out to per-copy channels. Same O(passes · 2m)
+	// reads and bit-identical results; kept for A/B benchmarking against
+	// DriverBroadcast's pull executor.
+	DriverPushBroadcast Driver = "push-broadcast"
 	// DriverReplay replays the full stream once per copy per pass (the
 	// pre-broadcast behavior, kept for A/B benchmarking):
 	// O(copies · passes · 2m) stream-item reads.
@@ -491,6 +498,9 @@ func LocalEstimateContext(ctx context.Context, s *Stream, p float64, opts Option
 			if err = stream.RunParallelContext(ctx, s, ests); err == nil {
 				st = stream.ReplayStats(s, ests)
 			}
+		case DriverPushBroadcast:
+			driver = DriverPushBroadcast
+			st, err = stream.RunBroadcastConfigContext(ctx, s, ests, stream.BroadcastConfig{Push: true})
 		default: // DriverBroadcast or ""
 			driver = DriverBroadcast
 			st, err = stream.RunBroadcastContext(ctx, s, ests)
@@ -575,6 +585,8 @@ func EstimateContext(ctx context.Context, s *Stream, opts Options) (Result, erro
 			if err == nil {
 				st = stream.ReplayStats(s, copies)
 			}
+		case DriverPushBroadcast:
+			est, sp, st, err = stream.MedianBroadcastConfigContext(ctx, s, copies, stream.BroadcastConfig{Push: true})
 		default: // DriverBroadcast or "" (Validate rejected everything else)
 			driver = DriverBroadcast
 			est, sp, st, err = stream.MedianBroadcastContext(ctx, s, copies)

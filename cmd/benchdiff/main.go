@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -49,7 +50,7 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-const defaultKeys = "BenchmarkBroadcastK32,BenchmarkExactKernels,BenchmarkEstimateColdVsCached"
+const defaultKeys = "BenchmarkBroadcastK32,BenchmarkBroadcastPushK32,BenchmarkExactKernels,BenchmarkEstimateColdVsCached"
 
 // stripProcs removes Go's -<GOMAXPROCS> suffix (BenchmarkFoo-8 → BenchmarkFoo)
 // so reports taken on machines with different core counts line up.
@@ -132,6 +133,20 @@ type row struct {
 
 func (r row) delta() float64 { return r.nw/r.base - 1 }
 
+// geomeanDelta returns the geometric mean of the rows' new/baseline ratios,
+// minus one — the balanced "overall moved by" figure (each benchmark weighs
+// the same regardless of its absolute ns/op).
+func geomeanDelta(rows []row) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var sumLog float64
+	for _, r := range rows {
+		sumLog += math.Log(r.nw / r.base)
+	}
+	return math.Exp(sumLog/float64(len(rows))) - 1
+}
+
 // diff joins the two indexes on benchmark name, sorted worst-delta first.
 func diff(base, nw map[string]float64, keys []string) []row {
 	rows := make([]row, 0, len(nw))
@@ -210,6 +225,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "| %s | %.1f | %.1f | %+.1f%% | %s |\n",
 			r.name, r.base, r.nw, 100*r.delta(), gate)
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(stdout, "| _geomean_ | | | %+.1f%% | |\n", 100*geomeanDelta(rows))
 	}
 	fmt.Fprintln(stdout)
 

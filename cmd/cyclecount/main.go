@@ -97,7 +97,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cycleLen := fs.Int("len", 3, "cycle length for -algo exact")
 	copies := fs.Int("copies", 1, "independent copies, median-combined")
 	parallel := fs.Bool("parallel", false, "run copies concurrently")
-	driver := fs.String("driver", "broadcast", "parallel execution driver: broadcast (single stream read per pass) or replay (one read per copy)")
+	driver := fs.String("driver", "broadcast", "parallel execution driver: broadcast (pull executor, single stream read per pass), push-broadcast (legacy channel fan-out), or replay (one read per copy)")
+	copyRange := fs.String("copy-range", "", "run only copies [lo:hi) of the -copies run (requires -snapshot)")
+	snapshot := fs.String("snapshot", "", "write per-copy snapshots to this file instead of printing an estimate; merge shards with adjmerge")
 	seed := fs.Uint64("seed", 1, "seed for all randomness")
 	order := fs.String("order", "sorted", "stream order for edge-list input: sorted or random")
 	isStream := fs.Bool("stream", false, "input is an adjacency-list stream file (text, adj1 binary, or adjC columnar; columnar files are memory-mapped), not an edge list")
@@ -151,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runCompare(ctx, s, *size, *prob, *pairCap, *copies, *seed, stdout, stderr)
 	}
 
-	res, err := adjstream.EstimateContext(ctx, s, adjstream.Options{
+	opts := adjstream.Options{
 		Algorithm:  adjstream.Algorithm(*algo),
 		SampleSize: *size,
 		SampleProb: *prob,
@@ -161,7 +163,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallel:   *parallel,
 		Driver:     adjstream.Driver(*driver),
 		Seed:       *seed,
-	})
+	}
+
+	if *snapshot != "" {
+		return runShard(ctx, s, opts, *copyRange, *snapshot, stdout, stderr)
+	}
+	if *copyRange != "" {
+		fmt.Fprintln(stderr, "cyclecount: -copy-range requires -snapshot (a shard has no median to print)")
+		return 2
+	}
+
+	res, err := adjstream.EstimateContext(ctx, s, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "cyclecount:", err)
 		return exitCode(err)
@@ -199,6 +211,38 @@ func loadStream(path string, isStream bool, order string, seed uint64) (*adjstre
 	default:
 		return nil, nil, fmt.Errorf("unknown order %q", order)
 	}
+}
+
+// parseCopyRange parses "lo:hi" into the half-open copy range [lo, hi).
+func parseCopyRange(spec string, copies int) (lo, hi int, err error) {
+	if spec == "" {
+		return 0, copies, nil
+	}
+	if _, err := fmt.Sscanf(spec, "%d:%d", &lo, &hi); err != nil {
+		return 0, 0, fmt.Errorf("copy range %q is not lo:hi", spec)
+	}
+	return lo, hi, nil
+}
+
+// runShard executes the copy range of a split run and writes the snapshot
+// set; adjmerge combines shard files into the single-run output.
+func runShard(ctx context.Context, s *adjstream.Stream, opts adjstream.Options, copyRange, path string, stdout, stderr io.Writer) int {
+	lo, hi, err := parseCopyRange(copyRange, opts.Copies)
+	if err != nil {
+		fmt.Fprintln(stderr, "cyclecount:", err)
+		return 2
+	}
+	snaps, err := adjstream.EstimateShardContext(ctx, s, opts, lo, hi)
+	if err != nil {
+		fmt.Fprintln(stderr, "cyclecount:", err)
+		return exitCode(err)
+	}
+	if err := adjstream.WriteSnapshotFile(path, lo, snaps); err != nil {
+		fmt.Fprintln(stderr, "cyclecount:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "snapshot:    %s (copies [%d:%d) of %d)\n", path, lo, hi, opts.Copies)
+	return 0
 }
 
 func runCompare(ctx context.Context, s *adjstream.Stream, size int, prob float64, pairCap, copies int, seed uint64, stdout, stderr io.Writer) int {

@@ -48,7 +48,7 @@ func (o Options) Validate() error {
 		return fmt.Errorf("%w %q", ErrUnknownAlgorithm, o.Algorithm)
 	}
 	switch o.Driver {
-	case "", DriverBroadcast, DriverReplay:
+	case "", DriverBroadcast, DriverPushBroadcast, DriverReplay:
 	default:
 		return fmt.Errorf("%w: unknown driver %q", ErrInvalidOptions, o.Driver)
 	}

@@ -17,6 +17,9 @@ type ExactStream struct {
 	items    int64
 	meter    space.Meter
 	cur      stream.ListCursor
+
+	// Restored-run summary (state.go); nil unless Restore was called.
+	snap *stream.CopyState
 }
 
 var _ stream.Estimator = (*ExactStream)(nil)
@@ -56,6 +59,9 @@ func (e *ExactStream) EndPass(p int) {}
 
 // Estimate returns the exact cycle count.
 func (e *ExactStream) Estimate() float64 {
+	if e.snap != nil {
+		return e.snap.Estimate
+	}
 	g := e.builder.Graph()
 	n, err := g.CountCycles(e.cycleLen)
 	if err != nil {
@@ -65,7 +71,17 @@ func (e *ExactStream) Estimate() float64 {
 }
 
 // SpaceWords implements stream.Estimator.
-func (e *ExactStream) SpaceWords() int64 { return e.meter.Peak() }
+func (e *ExactStream) SpaceWords() int64 {
+	if e.snap != nil {
+		return e.snap.SpaceWords
+	}
+	return e.meter.Peak()
+}
 
 // M returns the measured edge count.
-func (e *ExactStream) M() int64 { return e.builder.M() }
+func (e *ExactStream) M() int64 {
+	if e.snap != nil {
+		return e.snap.M
+	}
+	return e.builder.M()
+}

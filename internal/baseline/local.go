@@ -19,6 +19,7 @@ import (
 // plus the edge sample.
 type LocalTriangles struct {
 	p       float64
+	seed    uint64
 	sampler sampling.EdgeSampler
 	det     *detectorLite
 
@@ -29,6 +30,9 @@ type LocalTriangles struct {
 	m      int64
 	meter  space.Meter
 	cur    stream.ListCursor
+
+	// Restored-run summary (state.go); nil unless Restore was called.
+	snap *stream.CopyState
 }
 
 // detectorLite reuses the core detection idea locally: sampled edges with
@@ -54,6 +58,7 @@ func NewLocalTriangles(p float64, seed uint64) (*LocalTriangles, error) {
 	}
 	l := &LocalTriangles{
 		p:       p,
+		seed:    seed,
 		counts:  make(map[graph.V]float64),
 		det:     &detectorLite{recs: make(map[graph.Edge]*liteRec), byVertex: make(map[graph.V][]*liteRec)},
 		sampler: sampling.NewFixedProb(p, seed),
@@ -141,6 +146,9 @@ func (l *LocalTriangles) Counts() map[graph.V]float64 { return l.counts }
 
 // Estimate returns the implied global triangle count Σ local / 3.
 func (l *LocalTriangles) Estimate() float64 {
+	if l.snap != nil {
+		return l.snap.Estimate
+	}
 	// Sum in sorted vertex order: map iteration order is randomized, and
 	// a fixed summation order keeps the estimate bit-deterministic across
 	// runs and execution drivers.
@@ -157,7 +165,12 @@ func (l *LocalTriangles) Estimate() float64 {
 }
 
 // SpaceWords implements stream.Estimator.
-func (l *LocalTriangles) SpaceWords() int64 { return l.meter.Peak() }
+func (l *LocalTriangles) SpaceWords() int64 {
+	if l.snap != nil {
+		return l.snap.SpaceWords
+	}
+	return l.meter.Peak()
+}
 
 // M returns the measured edge count.
 func (l *LocalTriangles) M() int64 { return l.m }

@@ -68,6 +68,9 @@ type OnePassTriangle struct {
 	found int64
 	meter space.Meter
 	cur   stream.ListCursor
+
+	// Restored-run summary (state.go); nil unless Restore was called.
+	snap *stream.CopyState
 }
 
 var _ stream.Estimator = (*OnePassTriangle)(nil)
@@ -148,6 +151,9 @@ func (o *OnePassTriangle) EndPass(p int) { o.m = o.items / 2 }
 
 // Estimate returns scale·N/2 (two detectable edges per triangle).
 func (o *OnePassTriangle) Estimate() float64 {
+	if o.snap != nil {
+		return o.snap.Estimate
+	}
 	return o.sampler.InclusionScale(o.m) * float64(o.found) / 2
 }
 
@@ -158,7 +164,12 @@ func (o *OnePassTriangle) Detected() bool { return o.found > 0 }
 func (o *OnePassTriangle) PairsDiscovered() int64 { return o.found }
 
 // SpaceWords implements stream.Estimator.
-func (o *OnePassTriangle) SpaceWords() int64 { return o.meter.Peak() }
+func (o *OnePassTriangle) SpaceWords() int64 {
+	if o.snap != nil {
+		return o.snap.SpaceWords
+	}
+	return o.meter.Peak()
+}
 
 // M returns the measured edge count.
 func (o *OnePassTriangle) M() int64 { return o.m }

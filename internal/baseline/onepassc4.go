@@ -24,6 +24,10 @@ type OnePassFourCycle struct {
 	m     int64
 	meter space.Meter
 	cur   stream.ListCursor
+
+	// Restored-run summary (state.go); nil unless Restore was called.
+	snap         *stream.CopyState
+	snapDetected bool
 }
 
 var _ stream.Estimator = (*OnePassFourCycle)(nil)
@@ -89,6 +93,9 @@ func (o *OnePassFourCycle) sampleGraph() *graph.Graph {
 // makes the estimator useless at sublinear budgets, exactly as Theorem 5.3
 // requires.
 func (o *OnePassFourCycle) Estimate() float64 {
+	if o.snap != nil {
+		return o.snap.Estimate
+	}
 	g := o.sampleGraph()
 	inSample := g.FourCycles()
 	scale := o.sampler.InclusionScale(o.m)
@@ -96,10 +103,20 @@ func (o *OnePassFourCycle) Estimate() float64 {
 }
 
 // Detected reports whether any 4-cycle survived in the sample.
-func (o *OnePassFourCycle) Detected() bool { return o.sampleGraph().FourCycles() > 0 }
+func (o *OnePassFourCycle) Detected() bool {
+	if o.snap != nil {
+		return o.snapDetected
+	}
+	return o.sampleGraph().FourCycles() > 0
+}
 
 // SpaceWords implements stream.Estimator.
-func (o *OnePassFourCycle) SpaceWords() int64 { return o.meter.Peak() }
+func (o *OnePassFourCycle) SpaceWords() int64 {
+	if o.snap != nil {
+		return o.snap.SpaceWords
+	}
+	return o.meter.Peak()
+}
 
 // M returns the measured edge count.
 func (o *OnePassFourCycle) M() int64 { return o.m }

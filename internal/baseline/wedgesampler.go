@@ -45,6 +45,9 @@ type WedgeSampler struct {
 	closed int64
 	meter  space.Meter
 	cur    stream.ListCursor
+
+	// Restored-run summary (state.go); nil unless Restore was called.
+	snap *stream.CopyState
 }
 
 var _ stream.Estimator = (*WedgeSampler)(nil)
@@ -191,6 +194,9 @@ func (w *WedgeSampler) EndPass(p int) { w.m = w.items / 2 }
 // Estimate returns closed·dilution/((5/2)·p₂); see the type comment for the
 // random-order analysis behind the factor 5/2.
 func (w *WedgeSampler) Estimate() float64 {
+	if w.snap != nil {
+		return w.snap.Estimate
+	}
 	p2 := w.pairInclusionProb()
 	if p2 <= 0 {
 		return 0
@@ -227,7 +233,12 @@ func (w *WedgeSampler) ClosedWedges() int64 { return w.closed }
 func (w *WedgeSampler) WedgesFormed() int64 { return w.formed }
 
 // SpaceWords implements stream.Estimator.
-func (w *WedgeSampler) SpaceWords() int64 { return w.meter.Peak() }
+func (w *WedgeSampler) SpaceWords() int64 {
+	if w.snap != nil {
+		return w.snap.SpaceWords
+	}
+	return w.meter.Peak()
+}
 
 // M returns the measured edge count.
 func (w *WedgeSampler) M() int64 { return w.m }

@@ -68,6 +68,10 @@ type AdaptiveTwoPassTriangle struct {
 	inner *TwoPassTriangle
 	cfg   AdaptiveConfig
 	cur   stream.ListCursor
+
+	// Restored-run summary (state.go); nil unless Restore was called.
+	snap      *stream.CopyState
+	snapFinal int
 }
 
 var _ stream.Estimator = (*AdaptiveTwoPassTriangle)(nil)
@@ -157,13 +161,26 @@ func min64(a, b int64) int64 {
 func (a *AdaptiveTwoPassTriangle) EndPass(p int) { a.inner.EndPass(p) }
 
 // Estimate implements stream.Estimator.
-func (a *AdaptiveTwoPassTriangle) Estimate() float64 { return a.inner.Estimate() }
+func (a *AdaptiveTwoPassTriangle) Estimate() float64 {
+	if a.snap != nil {
+		return a.snap.Estimate
+	}
+	return a.inner.Estimate()
+}
 
 // SpaceWords implements stream.Estimator.
-func (a *AdaptiveTwoPassTriangle) SpaceWords() int64 { return a.inner.SpaceWords() }
+func (a *AdaptiveTwoPassTriangle) SpaceWords() int64 {
+	if a.snap != nil {
+		return a.snap.SpaceWords
+	}
+	return a.inner.SpaceWords()
+}
 
 // FinalSample returns the sample capacity the run converged to.
 func (a *AdaptiveTwoPassTriangle) FinalSample() int {
+	if a.snap != nil {
+		return a.snapFinal
+	}
 	if bk, ok := a.inner.sampler.(*sampling.BottomK); ok {
 		return bk.K()
 	}

@@ -73,6 +73,11 @@ type TwoPassFourCycle struct {
 	meter space.Meter
 	tele  estTele
 	cur   stream.ListCursor
+
+	// Restored-run summary (state.go); nil unless Restore was called.
+	snap       *stream.CopyState
+	snapKept   int
+	snapCycles int64
 }
 
 var _ stream.Estimator = (*TwoPassFourCycle)(nil)
@@ -231,6 +236,9 @@ func (f *TwoPassFourCycle) sampledEdges() []graph.Edge {
 // probability both edges of a wedge are sampled and dilution corrects for a
 // WedgeCap reservoir. Each 4-cycle has exactly four wedges, hence the 1/4.
 func (f *TwoPassFourCycle) Estimate() float64 {
+	if f.snap != nil {
+		return f.snap.Estimate
+	}
 	var sum int64
 	for _, w := range f.wedges {
 		if w.count > 0 {
@@ -268,17 +276,30 @@ func (f *TwoPassFourCycle) pairInclusionProb() float64 {
 }
 
 // SpaceWords implements stream.Estimator.
-func (f *TwoPassFourCycle) SpaceWords() int64 { return f.meter.Peak() }
+func (f *TwoPassFourCycle) SpaceWords() int64 {
+	if f.snap != nil {
+		return f.snap.SpaceWords
+	}
+	return f.meter.Peak()
+}
 
 // WedgesFormed returns the total number of wedges formed inside the sample
 // (before any cap).
 func (f *TwoPassFourCycle) WedgesFormed() int64 { return f.totalWedges }
 
 // WedgesKept returns |Q| after any cap.
-func (f *TwoPassFourCycle) WedgesKept() int { return len(f.wedges) }
+func (f *TwoPassFourCycle) WedgesKept() int {
+	if f.snap != nil {
+		return f.snapKept
+	}
+	return len(f.wedges)
+}
 
 // CyclesThroughSampledWedges returns Σ_{w∈Q} T_w, the raw pass-two count.
 func (f *TwoPassFourCycle) CyclesThroughSampledWedges() int64 {
+	if f.snap != nil {
+		return f.snapCycles
+	}
 	var sum int64
 	for _, w := range f.wedges {
 		if w.count > 0 {

@@ -27,6 +27,9 @@ type NaiveTwoPass struct {
 	found int64 // N = Σ_{e∈S} T(e)
 	meter space.Meter
 	cur   stream.ListCursor
+
+	// Restored-run summary (state.go); nil unless Restore was called.
+	snap *stream.CopyState
 }
 
 var _ stream.Estimator = (*NaiveTwoPass)(nil)
@@ -100,6 +103,9 @@ func (n *NaiveTwoPass) EndPass(p int) {
 // once per final-sample edge it contains (discoveries credited to evicted
 // edges are retracted), and each triangle has three edges.
 func (n *NaiveTwoPass) Estimate() float64 {
+	if n.snap != nil {
+		return n.snap.Estimate
+	}
 	return n.sampler.InclusionScale(n.m) * float64(n.found) / 3
 }
 
@@ -111,7 +117,12 @@ func (n *NaiveTwoPass) Detected() bool { return n.found > 0 }
 func (n *NaiveTwoPass) PairsDiscovered() int64 { return n.found }
 
 // SpaceWords implements stream.Estimator.
-func (n *NaiveTwoPass) SpaceWords() int64 { return n.meter.Peak() }
+func (n *NaiveTwoPass) SpaceWords() int64 {
+	if n.snap != nil {
+		return n.snap.SpaceWords
+	}
+	return n.meter.Peak()
+}
 
 // M returns the edge count measured in pass one.
 func (n *NaiveTwoPass) M() int64 { return n.m }

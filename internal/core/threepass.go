@@ -31,6 +31,10 @@ type ThreePassTriangle struct {
 	m     int64
 	meter space.Meter
 	cur   stream.ListCursor
+
+	// Restored-run summary (state.go); nil unless Restore was called.
+	snap      *stream.CopyState
+	snapPairs int
 }
 
 var _ stream.Estimator = (*ThreePassTriangle)(nil)
@@ -135,6 +139,9 @@ func (t *ThreePassTriangle) collect(r *edgeRec, apex graph.V) {
 
 // Estimate returns scale · |{(e,τ) collected : argmin_{e′∈τ} T(e′) = e}|.
 func (t *ThreePassTriangle) Estimate() float64 {
+	if t.snap != nil {
+		return t.snap.Estimate
+	}
 	matched := 0
 	for _, pr := range t.pairs {
 		if pr.rec.dead || pr.w[0] == nil {
@@ -148,10 +155,20 @@ func (t *ThreePassTriangle) Estimate() float64 {
 }
 
 // SpaceWords implements stream.Estimator.
-func (t *ThreePassTriangle) SpaceWords() int64 { return t.meter.Peak() }
+func (t *ThreePassTriangle) SpaceWords() int64 {
+	if t.snap != nil {
+		return t.snap.SpaceWords
+	}
+	return t.meter.Peak()
+}
 
 // PairsCollected returns |Q|, the number of (edge, triangle) pairs stored.
-func (t *ThreePassTriangle) PairsCollected() int { return len(t.pairs) }
+func (t *ThreePassTriangle) PairsCollected() int {
+	if t.snap != nil {
+		return t.snapPairs
+	}
+	return len(t.pairs)
+}
 
 // M returns the edge count measured in pass one.
 func (t *ThreePassTriangle) M() int64 { return t.m }

@@ -84,6 +84,10 @@ type TwoPassTriangle struct {
 	tele   estTele
 	inList bool
 	cur    stream.ListCursor
+
+	// Restored-run summary (state.go); nil unless Restore was called.
+	snap      *stream.CopyState
+	snapPairs int64
 }
 
 var _ stream.Estimator = (*TwoPassTriangle)(nil)
@@ -245,6 +249,9 @@ func edgeLess(a, b graph.Edge) bool {
 //
 // where scale = 1/Pr[e ∈ S] and N is the total number of discovered pairs.
 func (t *TwoPassTriangle) Estimate() float64 {
+	if t.snap != nil {
+		return t.snap.Estimate
+	}
 	q := t.pairs.Len()
 	if q == 0 {
 		return 0
@@ -264,7 +271,12 @@ func (t *TwoPassTriangle) Estimate() float64 {
 }
 
 // SpaceWords implements stream.Estimator.
-func (t *TwoPassTriangle) SpaceWords() int64 { return t.meter.Peak() }
+func (t *TwoPassTriangle) SpaceWords() int64 {
+	if t.snap != nil {
+		return t.snap.SpaceWords
+	}
+	return t.meter.Peak()
+}
 
 // SampledEdges returns the current number of live sampled edges (for space
 // diagnostics and tests).
@@ -302,7 +314,12 @@ func sortedTriangle(a, b, c graph.V) graph.Triangle {
 
 // PairsDiscovered returns N, the total number of (edge, triangle) pairs
 // found across both passes (including pairs for edges later evicted).
-func (t *TwoPassTriangle) PairsDiscovered() int64 { return t.pairs.Offered() }
+func (t *TwoPassTriangle) PairsDiscovered() int64 {
+	if t.snap != nil {
+		return t.snapPairs
+	}
+	return t.pairs.Offered()
+}
 
 // M returns the edge count measured in pass one.
 func (t *TwoPassTriangle) M() int64 { return t.m }

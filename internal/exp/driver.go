@@ -16,23 +16,22 @@ import (
 
 var (
 	driverMu      sync.Mutex
-	driverReplay  bool
+	driverSel     string // "", "broadcast", "push-broadcast", or "replay"
 	driverCounter stream.DriverStats
 	replayCounter stream.DriverStats
 )
 
 // SetDriver selects the execution driver for multi-copy experiment runs:
-// "broadcast" (default) or "replay".
+// "broadcast" (pull executor, the default), "push-broadcast" (legacy
+// channel fan-out), or "replay".
 func SetDriver(name string) error {
 	driverMu.Lock()
 	defer driverMu.Unlock()
 	switch name {
-	case "broadcast":
-		driverReplay = false
-	case "replay":
-		driverReplay = true
+	case "broadcast", "push-broadcast", "replay":
+		driverSel = name
 	default:
-		return fmt.Errorf("exp: unknown driver %q (want broadcast or replay)", name)
+		return fmt.Errorf("exp: unknown driver %q (want broadcast, push-broadcast, or replay)", name)
 	}
 	return nil
 }
@@ -43,13 +42,16 @@ func SetDriver(name string) error {
 // not depend on the driver choice.
 func runCopies(s *stream.Stream, ests []stream.Estimator) {
 	driverMu.Lock()
-	replay := driverReplay
+	name := driverSel
 	driverMu.Unlock()
 	var st stream.DriverStats
-	if replay {
+	switch name {
+	case "replay":
 		stream.RunParallel(s, ests)
 		st = stream.ReplayStats(s, ests)
-	} else {
+	case "push-broadcast":
+		st = stream.RunBroadcastConfig(s, ests, stream.BroadcastConfig{Push: true})
+	default: // "" or "broadcast": the pull executor
 		st = stream.RunBroadcastConfig(s, ests, stream.BroadcastConfig{})
 	}
 	driverMu.Lock()
@@ -92,12 +94,12 @@ func ResetDriverCounters() {
 // tables: the same reporting path, one level up.
 func DriverReport() *Table {
 	used, replay := DriverCounters()
-	name := "broadcast"
 	driverMu.Lock()
-	if driverReplay {
-		name = "replay"
-	}
+	name := driverSel
 	driverMu.Unlock()
+	if name == "" {
+		name = "broadcast"
+	}
 	savings := "1.00"
 	if used.StreamItemsRead > 0 {
 		savings = f2(float64(replay.StreamItemsRead) / float64(used.StreamItemsRead))

@@ -161,10 +161,10 @@ func GitRev() string {
 func driverName() string {
 	driverMu.Lock()
 	defer driverMu.Unlock()
-	if driverReplay {
-		return "replay"
+	if driverSel == "" {
+		return "broadcast"
 	}
-	return "broadcast"
+	return driverSel
 }
 
 // statsDelta returns after minus before for the summing counters; the

@@ -41,6 +41,11 @@ const (
 	// CacheBypass: the cache is disabled or not applicable; the request ran
 	// directly.
 	CacheBypass CacheOutcome = "bypass"
+	// CacheShared: a batch item answered from a shared family pass — the
+	// batch held several parallel median runs differing only in copy count,
+	// so one run of the largest count produced per-copy snapshots and each
+	// item's result was merged from its prefix (see handleBatch).
+	CacheShared CacheOutcome = "shared"
 )
 
 // cacheKey is the canonical identity of a deterministic run: everything

@@ -108,7 +108,7 @@ type EstimateRequest struct {
 	Confidence float64 `json:"confidence,omitempty"`
 	// Parallel runs copies concurrently through the selected driver.
 	Parallel bool `json:"parallel,omitempty"`
-	// Driver is "broadcast" (default) or "replay".
+	// Driver is "broadcast" (default), "push-broadcast", or "replay".
 	Driver string `json:"driver,omitempty"`
 	// Seed drives all randomness deterministically. A nil Seed selects the
 	// server default (0). The pointer matters: with a plain uint64 an
@@ -578,7 +578,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		pending = append(pending, i)
 	}
 
-	// Phase 2: one admission covers every fresh run in the batch.
+	// Phase 2: one admission covers every fresh run in the batch. Pending
+	// items that are the same parallel median run except for the copy count
+	// form a family: one shard run of the largest count produces per-copy
+	// snapshots, and each member's result is merged from its prefix — the
+	// per-copy seed schedule depends only on the seed and the copy index,
+	// so the prefix merge is byte-identical to the standalone run.
 	if len(pending) > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
 		defer cancel()
@@ -589,12 +594,119 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		} else {
 			defer release()
-			for _, i := range pending {
+			solo := pending
+			if s.cache != nil {
+				// Families need the cache only to publish results; group
+				// regardless, but keep the grouping off the bypass path so
+				// outcomes stay accurate there.
+				solo = s.batchRunFamilies(ctx, batch.Requests, pending, datasets, items)
+			}
+			for _, i := range solo {
 				items[i] = s.batchRun(ctx, batch.Requests[i], datasets[i])
 			}
 		}
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+}
+
+// batchRunFamilies runs every copy-count family among the pending items and
+// fills in their responses, returning the items left for individual runs. A
+// family is ≥2 items identical in every option but Copies (Parallel, more
+// than one copy, no Confidence — the shapes whose per-copy seeds are
+// independent of the copy count).
+func (s *Server) batchRunFamilies(ctx context.Context, reqs []EstimateRequest, pending []int, datasets []*Dataset, items []BatchItem) (solo []int) {
+	groups := make(map[cacheKey][]int)
+	order := make([]cacheKey, 0, len(pending))
+	for _, i := range pending {
+		req := reqs[i]
+		if !req.Parallel || req.Copies <= 1 || req.Confidence != 0 {
+			solo = append(solo, i)
+			continue
+		}
+		key := req.key("estimate", datasets[i].Fingerprint())
+		key.copies = 0
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	for _, key := range order {
+		idxs := groups[key]
+		if len(idxs) < 2 {
+			solo = append(solo, idxs...)
+			continue
+		}
+		s.batchRunFamily(ctx, reqs, idxs, datasets[idxs[0]], items)
+	}
+	return solo
+}
+
+// batchRunFamily executes one copy-count family: a single shard run of the
+// largest requested copy count, then a per-item prefix merge. Each member's
+// response matches its standalone run byte-for-byte (except elapsed time).
+func (s *Server) batchRunFamily(ctx context.Context, reqs []EstimateRequest, idxs []int, ds *Dataset, items []BatchItem) {
+	kmax := 0
+	var tmax time.Duration
+	for _, i := range idxs {
+		if reqs[i].Copies > kmax {
+			kmax = reqs[i].Copies
+		}
+		if t := s.timeoutFor(reqs[i]); t > tmax {
+			tmax = t
+		}
+	}
+	fctx, cancel := context.WithTimeout(ctx, tmax)
+	defer cancel()
+	start := time.Now()
+	base := reqs[idxs[0]]
+	fail := func(err error) {
+		for _, i := range idxs {
+			items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
+		}
+	}
+	st, err := ds.Stream(base.Order, base.effectiveSeed())
+	if err != nil {
+		fail(err)
+		return
+	}
+	opts := base.options()
+	opts.Copies = kmax
+	snaps, err := adjstream.EstimateShardContext(fctx, st, opts, 0, kmax)
+	if err != nil {
+		fail(err)
+		return
+	}
+	// The driver the standalone parallel run would report.
+	driver := adjstream.DriverBroadcast
+	switch adjstream.Driver(base.Driver) {
+	case adjstream.DriverReplay:
+		driver = adjstream.DriverReplay
+	case adjstream.DriverPushBroadcast:
+		driver = adjstream.DriverPushBroadcast
+	}
+	for _, i := range idxs {
+		res, err := adjstream.MergeSnapshots(snaps[:reqs[i].Copies])
+		if err != nil {
+			items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
+			continue
+		}
+		resp := EstimateResponse{
+			Graph:      reqs[i].Graph,
+			Algorithm:  reqs[i].Algorithm,
+			Estimate:   res.Estimate,
+			SpaceWords: res.SpaceWords,
+			Passes:     res.Passes,
+			M:          res.M,
+			Copies:     res.Copies,
+			Driver:     string(driver),
+			Seed:       reqs[i].effectiveSeed(),
+			ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		if s.cache != nil {
+			s.cache.Put(reqs[i].key("estimate", ds.Fingerprint()), resp)
+		}
+		items[i] = BatchItem{Result: &resp, Status: http.StatusOK, Cache: string(CacheShared)}
+	}
 }
 
 // batchRun executes one pending batch item under the batch's worker slot

@@ -15,10 +15,13 @@ import (
 // per copy costs O(k · passes · 2m) stream-item reads for what is logically
 // O(passes · 2m): every copy sees the identical item sequence. RunBroadcast
 // is the shared-traversal driver: each pass reads the stream once and fans
-// the items out to all copies through batched channels feeding a bounded
-// worker pool. Per-copy semantics are exactly those of sequential Run —
-// same item order, same list boundaries, independent per-copy state — so
-// deterministic (fixed-seed) estimators produce bit-identical estimates.
+// the items out to all copies. The default executor is pull-based (pull.go:
+// workers iterate the immutable chunks directly for their shard of copies);
+// BroadcastConfig.Push selects the legacy push fan-out below, which sends
+// batches through per-worker channels from a producer goroutine. Per-copy
+// semantics are exactly those of sequential Run — same item order, same
+// list boundaries, independent per-copy state — so deterministic
+// (fixed-seed) estimators produce bit-identical estimates.
 
 // DefaultBatchSize is the number of items per fan-out batch when
 // BroadcastConfig.BatchSize is zero. Batches are subslices of the immutable
@@ -32,17 +35,31 @@ const DefaultBatchSize = 1024
 const DefaultQueueDepth = 8
 
 // BroadcastConfig tunes RunBroadcastConfig. The zero value selects the
-// defaults and is what RunBroadcast uses.
+// defaults and is what RunBroadcast uses: the pull executor (see pull.go)
+// with the default fan-out window.
 type BroadcastConfig struct {
-	// BatchSize is the number of stream items per fan-out batch
-	// (default DefaultBatchSize).
+	// BatchSize is the number of stream items per fan-out batch in the
+	// legacy push driver (default DefaultBatchSize). The pull executor
+	// ignores it; see Window.
 	BatchSize int
 	// Workers bounds the worker-pool size; estimator copies are sharded
-	// contiguously across workers (default GOMAXPROCS).
+	// contiguously across workers (default GOMAXPROCS). Always clamped to
+	// the number of active copies, so an oversized setting cannot spawn
+	// idle workers.
 	Workers int
 	// QueueDepth is the per-worker buffered-channel capacity in batches
-	// (default DefaultQueueDepth).
+	// for the push driver (default DefaultQueueDepth). The pull executor
+	// has no queues.
 	QueueDepth int
+	// Window is the number of stream items fanned to all copies per
+	// iteration of the pull executor (default DefaultPullWindow). Small
+	// windows let the CPU overlap the independent copies' dependency
+	// chains; see pull.go.
+	Window int
+	// Push selects the legacy push-based fan-out (producer goroutine plus
+	// per-worker batch channels) instead of the pull executor. Kept for
+	// A/B benchmarking, like the replay driver before it.
+	Push bool
 }
 
 func (c BroadcastConfig) withDefaults() BroadcastConfig {
@@ -55,7 +72,25 @@ func (c BroadcastConfig) withDefaults() BroadcastConfig {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = DefaultQueueDepth
 	}
+	if c.Window <= 0 {
+		c.Window = DefaultPullWindow
+	}
 	return c
+}
+
+// workersFor clamps the configured worker count to the number of active
+// copies: a Workers setting beyond the copy count would only spawn idle
+// workers (each owning an empty shard — and, in the push driver, a
+// QueueDepth-deep channel buffer fed every batch for nothing).
+func workersFor(cfg BroadcastConfig, active int) int {
+	w := cfg.Workers
+	if w > active {
+		w = active
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // DriverStats counts the work a driver run performed. The distinction that
@@ -74,14 +109,24 @@ type DriverStats struct {
 	// ItemsDelivered counts items delivered to estimator callbacks,
 	// summed over copies.
 	ItemsDelivered int64
-	// Batches counts producer batch sends, summed over workers.
+	// Batches counts fan-out units: producer batch sends in the push
+	// driver, windows iterated (summed over workers) in the pull executor.
 	Batches int64
 	// PeakQueueDepth is the largest per-worker queue backlog (in
-	// batches) observed at send time.
+	// batches) observed at send time. Always zero for the pull executor,
+	// which has no queues.
 	PeakQueueDepth int
+	// Workers is the largest worker count used in any pass, after
+	// clamping to the number of active copies.
+	Workers int
+	// PassSkewNS is the largest per-pass wall-time spread (slowest worker
+	// minus fastest, in nanoseconds) observed across the run's passes.
+	// Zero when a pass ran inline on one worker. Stragglers — a shard of
+	// copies systematically slower than its peers — show up here.
+	PassSkewNS int64
 }
 
-// Merge accumulates other into s (peak depth by max, counters by sum).
+// Merge accumulates other into s (peaks by max, counters by sum).
 func (s *DriverStats) Merge(other DriverStats) {
 	s.Copies += other.Copies
 	if other.Passes > s.Passes {
@@ -92,6 +137,12 @@ func (s *DriverStats) Merge(other DriverStats) {
 	s.Batches += other.Batches
 	if other.PeakQueueDepth > s.PeakQueueDepth {
 		s.PeakQueueDepth = other.PeakQueueDepth
+	}
+	if other.Workers > s.Workers {
+		s.Workers = other.Workers
+	}
+	if other.PassSkewNS > s.PassSkewNS {
+		s.PassSkewNS = other.PassSkewNS
 	}
 }
 
@@ -152,17 +203,31 @@ func RunBroadcastContext(ctx context.Context, s *Stream, ests []Estimator) (Driv
 }
 
 // RunBroadcastConfigContext is RunBroadcastConfig with cooperative
-// cancellation. The producer polls ctx at batch boundaries — never per item
-// — so a never-firing context costs nothing on the fan-out hot path. On
-// cancellation the producer stops reading the stream, the workers drain the
-// batches already queued (bounded by QueueDepth) and exit, and the call
-// returns ctx.Err() with the counters accumulated so far; the estimators'
-// state is unspecified. No goroutines outlive the call either way.
+// cancellation. Cancellation is polled at window/batch boundaries — never
+// per item — so a never-firing context costs nothing on the fan-out hot
+// path. On cancellation the run stops at the next boundary (the push
+// driver's workers drain the batches already queued, bounded by QueueDepth)
+// and the call returns ctx.Err() with the counters accumulated so far; the
+// estimators' state is unspecified. No goroutines outlive the call either
+// way.
+//
+// The default executor is the pull one (see pull.go); cfg.Push selects the
+// legacy push fan-out.
 func RunBroadcastConfigContext(ctx context.Context, s *Stream, ests []Estimator, cfg BroadcastConfig) (DriverStats, error) {
 	cfg = cfg.withDefaults()
 	if len(ests) == 0 {
 		return DriverStats{}, ctx.Err()
 	}
+	if !cfg.Push {
+		return runPullBroadcast(ctx, s, ests, cfg)
+	}
+	return runPushBroadcast(ctx, s, ests, cfg)
+}
+
+// runPushBroadcast is the legacy push-based broadcast driver: one producer
+// goroutine per pass reads the stream and sends batches down per-worker
+// channels. Kept as an A/B control for the pull executor.
+func runPushBroadcast(ctx context.Context, s *Stream, ests []Estimator, cfg BroadcastConfig) (DriverStats, error) {
 	maxPasses := 0
 	for _, e := range ests {
 		if p := e.Passes(); p > maxPasses {
@@ -170,10 +235,14 @@ func RunBroadcastConfigContext(ctx context.Context, s *Stream, ests []Estimator,
 		}
 	}
 	var dc driverCounters
-	tt := teleForDriver("broadcast")
+	tt := teleForDriver("push")
+	if s.chunks == nil {
+		tt.noteFallback()
+	}
 	done := ctx.Done()
 	var runErr error
 	passes := 0
+	maxWorkers := 0
 	for p := 0; p < maxPasses; p++ {
 		if done != nil {
 			if err := ctx.Err(); err != nil {
@@ -187,6 +256,11 @@ func RunBroadcastConfigContext(ctx context.Context, s *Stream, ests []Estimator,
 				active = append(active, e)
 			}
 		}
+		if len(active) > 0 {
+			if w := workersFor(cfg, len(active)); w > maxWorkers {
+				maxWorkers = w
+			}
+		}
 		start := tt.startPass()
 		err := broadcastPass(ctx, s, active, p, cfg, &dc)
 		tt.endPass(start, int64(s.Len()), int64(s.Len())*int64(len(active)))
@@ -198,6 +272,7 @@ func RunBroadcastConfigContext(ctx context.Context, s *Stream, ests []Estimator,
 	}
 	tt.copies.Add(int64(len(ests)))
 	st := dc.snapshot(len(ests), passes)
+	st.Workers = maxWorkers
 	tt.batches.Add(st.Batches)
 	tt.queueDepth.Observe(int64(st.PeakQueueDepth))
 	return st, runErr
@@ -220,10 +295,7 @@ func broadcastPass(ctx context.Context, s *Stream, active []Estimator, p int, cf
 	if s.chunks != nil {
 		return broadcastPassColumnar(ctx, s, active, p, cfg, dc)
 	}
-	workers := cfg.Workers
-	if workers > len(active) {
-		workers = len(active)
-	}
+	workers := workersFor(cfg, len(active))
 	chans := make([]chan []Item, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -292,10 +364,7 @@ type colBatch struct {
 // whole chunk and the producer allocates nothing; smaller batch sizes slice
 // chunks and rebase the run offsets per slice.
 func broadcastPassColumnar(ctx context.Context, s *Stream, active []Estimator, p int, cfg BroadcastConfig, dc *driverCounters) error {
-	workers := cfg.Workers
-	if workers > len(active) {
-		workers = len(active)
-	}
+	workers := workersFor(cfg, len(active))
 	chans := make([]chan colBatch, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -489,7 +558,14 @@ func MedianBroadcast(s *Stream, copies []Estimator) (estimate float64, spaceWord
 // copies' state is unspecified after an aborted run — plus the driver
 // counters accumulated before the abort.
 func MedianBroadcastContext(ctx context.Context, s *Stream, copies []Estimator) (estimate float64, spaceWords int64, st DriverStats, err error) {
-	st, err = RunBroadcastConfigContext(ctx, s, copies, BroadcastConfig{})
+	return MedianBroadcastConfigContext(ctx, s, copies, BroadcastConfig{})
+}
+
+// MedianBroadcastConfigContext is MedianBroadcastContext with explicit
+// tuning knobs (notably Push, for driving the copies through the legacy
+// push fan-out instead of the pull executor).
+func MedianBroadcastConfigContext(ctx context.Context, s *Stream, copies []Estimator, cfg BroadcastConfig) (estimate float64, spaceWords int64, st DriverStats, err error) {
+	st, err = RunBroadcastConfigContext(ctx, s, copies, cfg)
 	if err != nil {
 		return 0, 0, st, err
 	}

@@ -122,12 +122,24 @@ func benchmarkBroadcastItem(b *testing.B, k int) {
 	}
 }
 
+// benchmarkBroadcastPush is benchmarkBroadcast on the legacy push fan-out:
+// the A/B control for the pull executor, and a gated key so the legacy path
+// cannot silently rot.
+func benchmarkBroadcastPush(b *testing.B, k int) {
+	s := benchStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunBroadcastConfig(s, benchCopies(k), BroadcastConfig{Push: true})
+	}
+}
+
 func BenchmarkReplayK8(b *testing.B)             { benchmarkReplay(b, 8) }
 func BenchmarkReplayK32(b *testing.B)            { benchmarkReplay(b, 32) }
 func BenchmarkReplayK128(b *testing.B)           { benchmarkReplay(b, 128) }
 func BenchmarkBroadcastK8(b *testing.B)          { benchmarkBroadcast(b, 8) }
 func BenchmarkBroadcastK32(b *testing.B)         { benchmarkBroadcast(b, 32) }
 func BenchmarkBroadcastK128(b *testing.B)        { benchmarkBroadcast(b, 128) }
+func BenchmarkBroadcastPushK32(b *testing.B)     { benchmarkBroadcastPush(b, 32) }
 func BenchmarkBroadcastItemPathK32(b *testing.B) { benchmarkBroadcastItem(b, 32) }
 
 // BenchmarkRunBatchPath / BenchmarkRunItemPath A/B the sequential driver on
@@ -157,6 +169,21 @@ func BenchmarkBroadcastBatchSize(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				RunBroadcastConfig(s, benchCopies(32), BroadcastConfig{BatchSize: bs})
+			}
+		})
+	}
+}
+
+// BenchmarkBroadcastPullWindow sweeps the pull executor's fan-out window at
+// k = 32. Small windows keep several copies' independent dependency chains
+// in flight at once; large windows degenerate toward copy-at-a-time.
+func BenchmarkBroadcastPullWindow(b *testing.B) {
+	for _, w := range []int{8, 32, 128, 1024} {
+		b.Run(strconv.Itoa(w), func(b *testing.B) {
+			s := benchStream(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				RunBroadcastConfig(s, benchCopies(32), BroadcastConfig{Window: w})
 			}
 		})
 	}

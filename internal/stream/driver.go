@@ -47,6 +47,9 @@ const CancelCheckItems = DefaultBatchSize
 // and yields exactly the callback sequence of Run.
 func RunContext(ctx context.Context, s *Stream, a Algorithm) error {
 	tt := teleForDriver("run")
+	if s.chunks == nil {
+		tt.noteFallback()
+	}
 	done := ctx.Done()
 	for p := 0; p < a.Passes(); p++ {
 		if done != nil {
@@ -81,6 +84,12 @@ func RunOrders(streams []*Stream, a Algorithm) error {
 		}
 	}
 	tt := teleForDriver("run")
+	for _, st := range streams {
+		if st.chunks == nil {
+			tt.noteFallback()
+			break
+		}
+	}
 	for p := 0; p < a.Passes(); p++ {
 		start := tt.startPass()
 		runPass(streams[p], a, p)

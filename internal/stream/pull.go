@@ -1,0 +1,313 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adjstream/internal/graph"
+)
+
+// Pull-based broadcast executor. The push driver (broadcast.go) moves every
+// chunk through a producer goroutine and per-worker channels, paying a
+// send/recv synchronization per batch and bounding throughput by the
+// producer. But chunks are immutable — and often mmap-ed straight from an
+// "adjC" file — so nothing needs to move at all: each worker iterates
+// Stream.Chunks() directly for its contiguous shard of copies. The only
+// coordination left is a per-pass start/finish barrier (the WaitGroup in
+// pullPass) and an atomic pass counter.
+//
+// The second win is the fan-out window. Fanning a whole 1024-item chunk to
+// copy 1, then copy 2, ... walks each copy's serial dependency chain (its
+// accumulator state) for 1024 items before switching. Fanning a small
+// window instead interleaves the chains at a granularity the CPU's
+// out-of-order engine can overlap: copy i+1's window is independent of copy
+// i's, so their work pipelines even on a single core. Measured on the
+// BroadcastK32 shape, a 32-item window is ~1.35x the chunk-at-a-time rate;
+// the window is a knob (BroadcastConfig.Window) because the sweet spot
+// depends on per-copy state size.
+
+// DefaultPullWindow is the pull executor's fan-out window (in stream items)
+// when BroadcastConfig.Window is zero. Small enough that the independent
+// copies' dependency chains overlap in the out-of-order window, large
+// enough that per-window loop overhead stays negligible.
+const DefaultPullWindow = 32
+
+// runPullBroadcast drives ests over s with the pull executor. Counter
+// semantics match the push driver: StreamItemsRead counts one logical
+// stream read per pass (workers share the chunks; the read is counted once,
+// not per worker), ItemsDelivered counts callback deliveries summed over
+// copies, and Batches counts windows iterated summed over workers.
+func runPullBroadcast(ctx context.Context, s *Stream, ests []Estimator, cfg BroadcastConfig) (DriverStats, error) {
+	maxPasses := 0
+	for _, e := range ests {
+		if p := e.Passes(); p > maxPasses {
+			maxPasses = p
+		}
+	}
+	var dc driverCounters
+	tt := teleForDriver("broadcast")
+	if s.chunks == nil {
+		tt.noteFallback()
+	}
+	done := ctx.Done()
+	var runErr error
+	var passCount atomic.Int64
+	maxWorkers := 0
+	var maxSkew int64
+	for p := 0; p < maxPasses; p++ {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				runErr = err
+				break
+			}
+		}
+		active := ests[:0:0]
+		for _, e := range ests {
+			if e.Passes() > p {
+				active = append(active, e)
+			}
+		}
+		start := tt.startPass()
+		skew, workers, err := pullPass(ctx, s, active, p, cfg, &dc)
+		tt.endPass(start, int64(s.Len()), int64(s.Len())*int64(len(active)))
+		tt.observeSkew(skew)
+		if workers > maxWorkers {
+			maxWorkers = workers
+		}
+		if skew > maxSkew {
+			maxSkew = skew
+		}
+		passCount.Add(1)
+		if err != nil {
+			runErr = err
+			break
+		}
+	}
+	tt.copies.Add(int64(len(ests)))
+	st := dc.snapshot(len(ests), int(passCount.Load()))
+	st.Workers = maxWorkers
+	st.PassSkewNS = maxSkew
+	tt.batches.Add(st.Batches)
+	return st, runErr
+}
+
+// pullPass runs pass p: each worker traverses the shared chunks for its
+// contiguous shard of the active copies. Returns the wall-time skew across
+// workers (slowest minus fastest; zero when the pass ran inline on one
+// worker) and the worker count used. The WaitGroup is the pass finish
+// barrier; the start barrier is implicit in the goroutine launches.
+func pullPass(ctx context.Context, s *Stream, active []Estimator, p int, cfg BroadcastConfig, dc *driverCounters) (skewNS int64, workers int, err error) {
+	if len(active) == 0 {
+		return 0, 0, nil
+	}
+	workers = workersFor(cfg, len(active))
+	if workers == 1 {
+		// Single worker: run inline, no goroutine, no clock reads.
+		delivered, windows, err := pullShardPass(ctx, s, active, p, cfg.Window)
+		dc.itemsDelivered.Add(delivered)
+		dc.batches.Add(windows)
+		dc.streamItemsRead.Add(int64(s.Len()))
+		return 0, 1, err
+	}
+	var wg sync.WaitGroup
+	walls := make([]int64, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := shardBounds(len(active), workers, w)
+		wg.Add(1)
+		go func(w int, shard []Estimator) {
+			defer wg.Done()
+			start := time.Now()
+			delivered, windows, err := pullShardPass(ctx, s, shard, p, cfg.Window)
+			walls[w] = int64(time.Since(start))
+			errs[w] = err
+			dc.itemsDelivered.Add(delivered)
+			dc.batches.Add(windows)
+		}(w, active[lo:hi])
+	}
+	wg.Wait()
+	// One logical stream read per pass, shared by all workers.
+	dc.streamItemsRead.Add(int64(s.Len()))
+	minW, maxW := walls[0], walls[0]
+	for _, v := range walls[1:] {
+		if v < minW {
+			minW = v
+		}
+		if v > maxW {
+			maxW = v
+		}
+	}
+	for _, e := range errs {
+		if e != nil {
+			err = e
+			break
+		}
+	}
+	return maxW - minW, workers, err
+}
+
+// pullShardPass replays pass p to every copy in shard by iterating the
+// chunks directly in windows of window items. Batch-capable copies get
+// EdgeBatch per window with run offsets rebased to the window (aliased when
+// the window starts a chunk, copied into a reused scratch otherwise); the
+// rest get the item protocol decoded from the columns, with the list cursor
+// carried across windows and chunks. The final open list is closed before
+// EndPass, exactly as the other drivers do. Cancellation is polled per
+// chunk. Returns deliveries and windows iterated.
+func pullShardPass(ctx context.Context, s *Stream, shard []Estimator, p int, window int) (delivered, windows int64, err error) {
+	if s.chunks == nil {
+		return pullShardPassItems(ctx, s, shard, p, window)
+	}
+	var batchers []BatchAlgorithm
+	var itemized []Estimator
+	for _, e := range shard {
+		if ba, ok := e.(BatchAlgorithm); ok {
+			batchers = append(batchers, ba)
+		} else {
+			itemized = append(itemized, e)
+		}
+	}
+	for _, e := range shard {
+		e.StartPass(p)
+	}
+	done := ctx.Done()
+	var scratch []int32
+	inList := false
+	var cur, last graph.V
+	open := false
+	for ci := range s.chunks {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return delivered, windows, err
+			}
+		}
+		c := &s.chunks[ci]
+		if len(c.Owners) == 0 {
+			continue
+		}
+		ri := 0
+		for i := 0; i < len(c.Owners); i += window {
+			j := i + window
+			if j > len(c.Owners) {
+				j = len(c.Owners)
+			}
+			a := ri
+			for ri < len(c.Runs) && int(c.Runs[ri]) < j {
+				ri++
+			}
+			var runs []int32
+			if i == 0 {
+				runs = c.Runs[a:ri]
+			} else if ri > a {
+				scratch = scratch[:0]
+				for _, r := range c.Runs[a:ri] {
+					scratch = append(scratch, r-int32(i))
+				}
+				runs = scratch
+			}
+			owners, nbrs := c.Owners[i:j], c.Nbrs[i:j]
+			for _, ba := range batchers {
+				ba.EdgeBatch(owners, nbrs, runs)
+			}
+			if len(itemized) > 0 {
+				ii := 0
+				for _, r := range runs {
+					for ; ii < int(r); ii++ {
+						o, n := graph.V(owners[ii]), graph.V(nbrs[ii])
+						for _, e := range itemized {
+							e.Edge(o, n)
+						}
+					}
+					if inList {
+						for _, e := range itemized {
+							e.EndList(cur)
+						}
+					}
+					cur = graph.V(owners[r])
+					inList = true
+					for _, e := range itemized {
+						e.StartList(cur)
+					}
+				}
+				for ; ii < len(owners); ii++ {
+					o, n := graph.V(owners[ii]), graph.V(nbrs[ii])
+					for _, e := range itemized {
+						e.Edge(o, n)
+					}
+				}
+			}
+			windows++
+			delivered += int64(j-i) * int64(len(shard))
+		}
+		last = graph.V(c.Owners[len(c.Owners)-1])
+		open = true
+	}
+	if open {
+		for _, ba := range batchers {
+			ba.EndList(last)
+		}
+	}
+	if inList {
+		for _, e := range itemized {
+			e.EndList(cur)
+		}
+	}
+	for _, e := range shard {
+		e.EndPass(p)
+	}
+	return delivered, windows, nil
+}
+
+// pullShardPassItems is pullShardPass for streams without chunks (ids
+// beyond uint32): the legacy []Item walk, windowed the same way so the
+// interleaving benefit survives the fallback.
+func pullShardPassItems(ctx context.Context, s *Stream, shard []Estimator, p int, window int) (delivered, windows int64, err error) {
+	for _, e := range shard {
+		e.StartPass(p)
+	}
+	items := s.Items()
+	done := ctx.Done()
+	inList := false
+	var cur graph.V
+	for base := 0; base < len(items); base += window {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return delivered, windows, err
+			}
+		}
+		end := base + window
+		if end > len(items) {
+			end = len(items)
+		}
+		for _, it := range items[base:end] {
+			if !inList || it.Owner != cur {
+				if inList {
+					for _, e := range shard {
+						e.EndList(cur)
+					}
+				}
+				cur = it.Owner
+				inList = true
+				for _, e := range shard {
+					e.StartList(cur)
+				}
+			}
+			for _, e := range shard {
+				e.Edge(it.Owner, it.Nbr)
+			}
+		}
+		windows++
+		delivered += int64(end-base) * int64(len(shard))
+	}
+	if inList {
+		for _, e := range shard {
+			e.EndList(cur)
+		}
+	}
+	for _, e := range shard {
+		e.EndPass(p)
+	}
+	return delivered, windows, nil
+}

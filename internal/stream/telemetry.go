@@ -13,7 +13,7 @@ import (
 // nil check — the ≤2% BenchmarkDriver overhead budget of DESIGN.md §4d.
 //
 // Metric names, per driver ("run" for the sequential driver, "broadcast"
-// for the fan-out driver):
+// for the pull fan-out executor, "push" for the legacy push fan-out):
 //
 //	driver.<name>.pass_ns         histogram — wall time per stream pass
 //	driver.<name>.items_per_sec   gauge     — throughput of the last pass
@@ -21,8 +21,17 @@ import (
 //	driver.<name>.items_delivered counter   — items delivered to copies
 //	driver.<name>.passes          counter   — stream traversals completed
 //	driver.<name>.copies          counter   — estimator copies completed
-//	driver.broadcast.batches      counter   — producer batch sends
-//	driver.broadcast.queue_depth  high-water — peak per-worker backlog
+//	driver.<name>.batches         counter   — batch sends / windows iterated
+//	driver.push.queue_depth       high-water — peak per-worker backlog
+//	driver.broadcast.pass_skew_ns histogram — per-pass worker wall-time
+//	                                          spread (stragglers)
+//
+// One name is global rather than per driver, because it flags a stream
+// property every driver hits the same way:
+//
+//	stream.driver.item_path_fallbacks counter — runs that used the legacy
+//	        []Item walk because the stream's vertex ids exceed uint32 and
+//	        it has no columnar chunks (the silent chunks==nil fallback)
 type driverTele struct {
 	passNS      *telemetry.Histogram
 	itemsPerSec *telemetry.Gauge
@@ -32,6 +41,8 @@ type driverTele struct {
 	copies      *telemetry.Counter
 	batches     *telemetry.Counter
 	queueDepth  *telemetry.HighWater
+	skew        *telemetry.Histogram
+	fallbacks   *telemetry.Counter
 }
 
 // teleForDriver binds the handle set for the named driver, or the all-nil
@@ -51,7 +62,26 @@ func teleForDriver(name string) driverTele {
 		copies:      r.Counter(prefix + "copies"),
 		batches:     r.Counter(prefix + "batches"),
 		queueDepth:  r.HighWater(prefix + "queue_depth"),
+		skew:        r.Histogram(prefix + "pass_skew_ns"),
+		fallbacks:   r.Counter("stream.driver.item_path_fallbacks"),
 	}
+}
+
+// observeSkew records one pass's worker wall-time spread.
+func (t driverTele) observeSkew(ns int64) {
+	if t.skew == nil {
+		return
+	}
+	t.skew.Observe(ns)
+}
+
+// noteFallback records one driver run that fell back to the []Item walk
+// because the stream has no columnar chunks.
+func (t driverTele) noteFallback() {
+	if t.fallbacks == nil {
+		return
+	}
+	t.fallbacks.Add(1)
 }
 
 // startPass returns the pass start time, or the zero time when disabled

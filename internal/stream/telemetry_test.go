@@ -20,7 +20,8 @@ func TestDriverStatsAtomicCounters(t *testing.T) {
 	g := randomGraph(40, 0.2, 11)
 	s := Random(g, 7)
 	const runs, k = 8, 16
-	cfg := BroadcastConfig{BatchSize: 64, Workers: 4, QueueDepth: 2}
+	// Push pinned: the batch accounting below is the push producer's.
+	cfg := BroadcastConfig{BatchSize: 64, Workers: 4, QueueDepth: 2, Push: true}
 	var wg sync.WaitGroup
 	stats := make([]DriverStats, runs)
 	for r := 0; r < runs; r++ {

@@ -1,0 +1,204 @@
+package adjstream
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"adjstream/internal/stream"
+)
+
+// Splitting a run across processes. A median-of-k estimation is k
+// independent copies whose results meet only at the final median, so the
+// copy set [0,k) can be partitioned into disjoint ranges, each range run by
+// a separate process with EstimateShardContext, the resulting snapshots
+// written to files with WriteSnapshotFile, and the files merged back into
+// the bit-identical Result with ReadSnapshotFile + MergeSnapshots (or the
+// adjmerge command). Copy i receives the same seed no matter which shard
+// runs it — the per-copy schedule depends only on Options.Seed and i — so
+// the split is invisible in the output.
+
+// CopySnapshot is one copy's serialized completed-run summary; see
+// EstimateShardContext and MergeSnapshots.
+type CopySnapshot = []byte
+
+// EstimateShardContext runs the copy range [lo, hi) of the k-copy estimation
+// opts describes over s and returns one snapshot per copy, in copy order.
+// The full run has k = opts.copies() copies (from Copies or Confidence);
+// 0 ≤ lo < hi ≤ k is required. Parallel and Driver choose how the shard's
+// copies traverse the stream, exactly as in EstimateContext. The snapshots
+// from shards covering all of [0, k) merge into the bit-identical
+// single-process Result via MergeSnapshots. Errors wrap ErrUnknownAlgorithm,
+// ErrInvalidOptions, or ErrCanceled.
+func EstimateShardContext(ctx context.Context, s *Stream, opts Options, lo, hi int) ([]CopySnapshot, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	k := opts.copies()
+	if lo < 0 || hi <= lo || hi > k {
+		return nil, fmt.Errorf("%w: copy range [%d,%d) outside [0,%d)", ErrInvalidOptions, lo, hi, k)
+	}
+	copies := make([]Estimator, hi-lo)
+	for i := range copies {
+		seed := opts.Seed
+		if k > 1 {
+			seed = opts.Seed + uint64(lo+i)*0x9e37_79b9 + 1
+		}
+		e, err := opts.wrapSingle(seed)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := e.(stream.Snapshotter); !ok {
+			return nil, fmt.Errorf("%w: algorithm %q does not support snapshots", ErrInvalidOptions, opts.Algorithm)
+		}
+		copies[i] = e
+	}
+	if opts.Parallel && len(copies) > 1 {
+		var err error
+		switch opts.Driver {
+		case DriverReplay:
+			err = stream.RunParallelContext(ctx, s, copies)
+		case DriverPushBroadcast:
+			_, err = stream.RunBroadcastConfigContext(ctx, s, copies, stream.BroadcastConfig{Push: true})
+		default: // DriverBroadcast or ""
+			_, err = stream.RunBroadcastContext(ctx, s, copies)
+		}
+		if err != nil {
+			return nil, canceled(err)
+		}
+	} else {
+		for _, e := range copies {
+			if err := stream.RunContext(ctx, s, e); err != nil {
+				return nil, canceled(err)
+			}
+		}
+	}
+	snaps := make([]CopySnapshot, len(copies))
+	for i, e := range copies {
+		snaps[i] = e.(stream.Snapshotter).Snapshot()
+	}
+	return snaps, nil
+}
+
+// MergeSnapshots combines per-copy snapshots — from any partition of a run's
+// copies into shards, in any order — into the run's Result: the median
+// estimate, summed space peaks, and the max pass/edge counts. The result is
+// bit-identical to the single-process EstimateContext over the same copies.
+// Result.Driver is empty; the caller knows how its shards were executed.
+// All snapshots must come from the same algorithm.
+func MergeSnapshots(snaps []CopySnapshot) (Result, error) {
+	cs, err := stream.MergeMedianSet(snaps)
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+	}
+	return Result{
+		Estimate:   cs.Estimate,
+		SpaceWords: cs.SpaceWords,
+		Passes:     int(cs.Passes),
+		M:          cs.M,
+		Copies:     len(snaps),
+	}, nil
+}
+
+// SnapshotAlgorithm reports the algorithm tag a snapshot carries, without
+// restoring it.
+func SnapshotAlgorithm(snap CopySnapshot) (Algorithm, error) {
+	cs, err := stream.DecodeCopyState(snap)
+	if err != nil {
+		return "", fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+	}
+	return Algorithm(cs.Algo), nil
+}
+
+// snapshotMagic identifies a snapshot-set file ("adjM" for merge).
+const snapshotMagic = "adjM"
+
+// snapshotFileVersion is the snapshot-set file-format version.
+const snapshotFileVersion = 1
+
+// WriteSnapshotSet writes a snapshot-set to w: the "adjM" magic, a uint32
+// version, a uint32 record count, then one record per snapshot — uint32
+// global copy index (lo, lo+1, …), uint32 payload length, payload bytes —
+// all little-endian. The index records which copies of the full run the
+// shard covered, letting the merge verify disjoint full coverage.
+func WriteSnapshotSet(w io.Writer, lo int, snaps []CopySnapshot) error {
+	if lo < 0 {
+		return fmt.Errorf("adjstream: negative snapshot base index %d", lo)
+	}
+	hdr := make([]byte, 0, 12)
+	hdr = append(hdr, snapshotMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, snapshotFileVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(snaps)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("adjstream: %w", err)
+	}
+	for i, snap := range snaps {
+		rec := make([]byte, 0, 8+len(snap))
+		rec = binary.LittleEndian.AppendUint32(rec, uint32(lo+i))
+		rec = binary.LittleEndian.AppendUint32(rec, uint32(len(snap)))
+		rec = append(rec, snap...)
+		if _, err := w.Write(rec); err != nil {
+			return fmt.Errorf("adjstream: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadSnapshotSet reads a snapshot-set written by WriteSnapshotSet,
+// returning each record's global copy index and payload.
+func ReadSnapshotSet(r io.Reader) (indices []int, snaps []CopySnapshot, err error) {
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, nil, fmt.Errorf("adjstream: snapshot set header: %w", err)
+	}
+	if string(hdr[:4]) != snapshotMagic {
+		return nil, nil, fmt.Errorf("adjstream: not a snapshot set (magic %q)", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != snapshotFileVersion {
+		return nil, nil, fmt.Errorf("adjstream: snapshot set version %d, want %d", v, snapshotFileVersion)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	indices = make([]int, 0, n)
+	snaps = make([]CopySnapshot, 0, n)
+	var rec [8]byte
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, nil, fmt.Errorf("adjstream: snapshot record %d: %w", i, err)
+		}
+		payload := make([]byte, binary.LittleEndian.Uint32(rec[4:]))
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, nil, fmt.Errorf("adjstream: snapshot record %d: %w", i, err)
+		}
+		indices = append(indices, int(binary.LittleEndian.Uint32(rec[:])))
+		snaps = append(snaps, payload)
+	}
+	return indices, snaps, nil
+}
+
+// WriteSnapshotFile writes a snapshot-set file (see WriteSnapshotSet).
+func WriteSnapshotFile(path string, lo int, snaps []CopySnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("adjstream: %w", err)
+	}
+	if err := WriteSnapshotSet(f, lo, snaps); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("adjstream: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile reads a snapshot-set file written by WriteSnapshotFile.
+func ReadSnapshotFile(path string) (indices []int, snaps []CopySnapshot, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("adjstream: %w", err)
+	}
+	defer f.Close()
+	return ReadSnapshotSet(f)
+}
