@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-json bench-baseline bench-gate journal-smoke serve-smoke cache-smoke merge-smoke cover all
+.PHONY: build test race vet bench bench-smoke bench-json bench-baseline bench-gate journal-smoke serve-smoke cache-smoke merge-smoke cluster-smoke cover all
 
 all: build vet test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/stream/... ./internal/core/... ./internal/baseline/... ./internal/graph/... ./internal/telemetry/... ./internal/serve/... ./cmd/adjserved/... ./cmd/adjmerge/...
+	$(GO) test -race . ./internal/stream/... ./internal/core/... ./internal/baseline/... ./internal/graph/... ./internal/telemetry/... ./internal/serve/... ./internal/cluster/... ./cmd/adjserved/... ./cmd/adjproxy/... ./cmd/adjmerge/...
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +77,15 @@ bench-gate:
 	$(GO) test -run=NONE -bench='$(BENCH_GATE_KEYS)' -benchtime=0.3s $(BENCH_GATE_PKGS) \
 		| $(GO) run ./cmd/bench2json -out /tmp/bench-gate.json
 	$(GO) run ./cmd/benchdiff -new /tmp/bench-gate.json
+
+# Cluster smoke: boot three in-process replicas plus the real adjproxy
+# binary, assert proxied answers are byte-identical to a single node's
+# (including under injected replica failure and total-outage fallback),
+# and drain the proxy with SIGTERM — see OPERATIONS.md for the topology.
+cluster-smoke:
+	$(GO) test -race -run 'TestClusterSmoke|TestProxyBatch' ./cmd/adjproxy/
+	$(GO) test -race -run 'TestCluster' .
+	$(GO) vet ./internal/cluster/ ./cmd/adjproxy/
 
 # Split-run smoke: one 32-copy estimation split into four 8-copy shard
 # processes, each writing a snapshot set, merged back with adjmerge and

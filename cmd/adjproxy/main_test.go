@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"adjstream/internal/serve"
+)
+
+// lockedBuffer is a Writer safe to read while the proxy goroutine is still
+// writing to it.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// startReplicas boots n in-process demo-catalog replicas and returns their
+// base URLs joined for -replicas.
+func startReplicas(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		cat := serve.NewCatalog()
+		if err := serve.LoadDemo(cat); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(serve.New(cat, serve.Config{}).Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// startProxy runs the binary's run() against the replicas and waits for it
+// to come up.
+func startProxy(t *testing.T, replicas []string, extraArgs ...string) (baseURL string, done chan int, stdout, stderr *lockedBuffer) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{
+		"-listen", "localhost:0",
+		"-addr-file", addrFile,
+		"-demo",
+		"-replicas", strings.Join(replicas, ","),
+		"-drain-timeout", "5s",
+	}, extraArgs...)
+	stdout, stderr = &lockedBuffer{}, &lockedBuffer{}
+	done = make(chan int, 1)
+	go func() { done <- run(args, stdout, stderr) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, err := os.ReadFile(addrFile)
+		if err == nil && len(b) > 0 {
+			return "http://" + string(b), done, stdout, stderr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy never wrote addr file; stderr: %s", stderr)
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("proxy exited early with code %d; stderr: %s", code, stderr)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// postJSON POSTs body and returns the status, X-Cache header, and the
+// response with elapsed_ms removed (the one legitimately varying field).
+func postJSON(t *testing.T, url, body string) (int, string, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+	delete(m, "elapsed_ms")
+	return resp.StatusCode, resp.Header.Get("X-Cache"), m
+}
+
+// canonical re-marshals a decoded response for byte comparison.
+func canonical(t *testing.T, m map[string]any) string {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestClusterSmoke is the `make cluster-smoke` entry point: boot three
+// replicas and the proxy binary, and check that proxied answers are
+// byte-identical (elapsed_ms aside) to a replica's own, that repeats hit
+// the proxy's cache, and that SIGTERM drains cleanly.
+func TestClusterSmoke(t *testing.T) {
+	replicas := startReplicas(t, 3)
+	base, done, stdout, stderr := startProxy(t, replicas, "-hedge-after", "2s")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	cases := []string{
+		`{"graph":"triangles64","algorithm":"exact","seed":1}`,
+		`{"graph":"k16","algorithm":"twopass-triangle","sample_prob":0.5,"copies":7,"parallel":true,"seed":3}`,
+		`{"graph":"er400","algorithm":"wedge-sampler","sample_size":128,"pair_cap":256,"copies":5,"seed":9}`,
+	}
+	for _, body := range cases {
+		status, cacheHdr, got := postJSON(t, base+"/v1/estimate", body)
+		if status != http.StatusOK {
+			t.Fatalf("proxy status %d for %s: %v", status, body, got)
+		}
+		if cacheHdr != "miss" {
+			t.Errorf("first request X-Cache = %q, want miss (%s)", cacheHdr, body)
+		}
+		status, _, want := postJSON(t, replicas[0]+"/v1/estimate", body)
+		if status != http.StatusOK {
+			t.Fatalf("replica status %d for %s", status, body)
+		}
+		if canonical(t, got) != canonical(t, want) {
+			t.Errorf("proxied response differs for %s:\n got %s\nwant %s",
+				body, canonical(t, got), canonical(t, want))
+		}
+		// The repeat is answered from the proxy's cache, byte-identically.
+		status, cacheHdr, again := postJSON(t, base+"/v1/estimate", body)
+		if status != http.StatusOK || cacheHdr != "hit" {
+			t.Errorf("repeat: status %d X-Cache %q, want 200 hit", status, cacheHdr)
+		}
+		if canonical(t, again) != canonical(t, got) {
+			t.Errorf("cached repeat differs for %s", body)
+		}
+	}
+
+	// Distinguish through the fleet.
+	body := `{"graph":"fourcycles64","cycle_len":4,"copies":3,"seed":5}`
+	status, _, got := postJSON(t, base+"/v1/distinguish", body)
+	if status != http.StatusOK {
+		t.Fatalf("distinguish status %d: %v", status, got)
+	}
+	if found, ok := got["found"].(bool); !ok || !found {
+		t.Errorf("distinguish C4 in fourcycles64 = %v, want found=true", got["found"])
+	}
+	if _, _, want := postJSON(t, replicas[1]+"/v1/distinguish", body); canonical(t, got) != canonical(t, want) {
+		t.Errorf("proxied distinguish differs:\n got %s\nwant %s", canonical(t, got), canonical(t, want))
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0; stderr: %s", code, stderr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("proxy did not shut down after SIGTERM; stdout: %s", stdout)
+	}
+	if !strings.Contains(stdout.String(), "draining...") {
+		t.Errorf("shutdown did not announce drain; stdout: %s", stdout)
+	}
+}
+
+// TestProxyBatch routes batch items through the fleet individually.
+func TestProxyBatch(t *testing.T) {
+	replicas := startReplicas(t, 2)
+	base, done, _, stderr := startProxy(t, replicas)
+	defer func() {
+		syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+		<-done
+	}()
+	body := `{"requests":[
+		{"graph":"triangles64","algorithm":"exact","seed":1},
+		{"graph":"nope","algorithm":"exact"},
+		{"graph":"k16","algorithm":"naive-twopass","sample_size":64,"copies":3,"seed":2}
+	]}`
+	resp, err := http.Post(base+"/v1/estimate/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var batch struct {
+		Results []struct {
+			Status int                    `json:"status"`
+			Result map[string]any         `json:"result"`
+			Error  string                 `json:"error"`
+			Extra  map[string]interface{} `json:"-"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatalf("decode batch: %v (stderr: %s)", err, stderr)
+	}
+	if len(batch.Results) != 3 {
+		t.Fatalf("got %d batch results, want 3", len(batch.Results))
+	}
+	if batch.Results[0].Status != http.StatusOK || batch.Results[0].Result["estimate"] != float64(64) {
+		t.Errorf("item 0 = %+v, want 64 triangles", batch.Results[0])
+	}
+	if batch.Results[1].Status != http.StatusNotFound {
+		t.Errorf("item 1 status = %d, want 404", batch.Results[1].Status)
+	}
+	if batch.Results[2].Status != http.StatusOK {
+		t.Errorf("item 2 = %+v, want 200", batch.Results[2])
+	}
+}
+
+// TestProxyBadFlags covers the usage-error exits.
+func TestProxyBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-demo"}, &out, &out); code != 2 {
+		t.Errorf("no replicas: code = %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "no replicas") {
+		t.Errorf("missing usage hint: %s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-replicas", "http://localhost:1"}, &out, &out); code != 2 {
+		t.Errorf("no catalog: code = %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"-replicas", " , ,", "-demo"}, &out, &out); code != 2 {
+		t.Errorf("blank replicas: code = %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"-replicas", "http://localhost:1", "-demo", "positional"}, &out, &out); code != 2 {
+		t.Errorf("positional arg: code = %d, want 2", code)
+	}
+}
+
+// TestOperationsDocCoversFlags asserts every flag the binary accepts is
+// documented in OPERATIONS.md (as `-name`), so the operator guide cannot
+// silently fall behind the flag set.
+func TestOperationsDocCoversFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	run([]string{"-h"}, &stdout, &stderr)
+	doc, err := os.ReadFile("../../OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("read OPERATIONS.md: %v", err)
+	}
+	flags := regexp.MustCompile(`(?m)^\s+-([a-z][a-z0-9-]*)`).FindAllStringSubmatch(stderr.String(), -1)
+	if len(flags) < 15 {
+		t.Fatalf("parsed only %d flags from usage output:\n%s", len(flags), stderr.String())
+	}
+	for _, m := range flags {
+		if !bytes.Contains(doc, []byte("`-"+m[1]+"`")) {
+			t.Errorf("flag -%s is not documented in OPERATIONS.md", m[1])
+		}
+	}
+}

@@ -41,37 +41,12 @@ import (
 	"syscall"
 	"time"
 
-	"adjstream"
-	"adjstream/internal/gen"
 	"adjstream/internal/serve"
 	"adjstream/internal/telemetry"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
-}
-
-// loadDemo fills the catalog with small generated graphs so the server is
-// usable without any data files.
-func loadDemo(cat *serve.Catalog) error {
-	er, err := gen.ErdosRenyi(400, 0.05, 1)
-	if err != nil {
-		return err
-	}
-	for _, d := range []struct {
-		name string
-		g    *adjstream.Graph
-	}{
-		{"k16", gen.Complete(16)},
-		{"triangles64", gen.DisjointTriangles(64)},
-		{"fourcycles64", gen.DisjointFourCycles(64)},
-		{"er400", er},
-	} {
-		if _, err := cat.Add(d.name, d.g); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // writeSnapshot dumps the telemetry registry to w, sorted by metric name.
@@ -116,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cat := serve.NewCatalog()
 	if *demo {
-		if err := loadDemo(cat); err != nil {
+		if err := serve.LoadDemo(cat); err != nil {
 			fmt.Fprintln(stderr, "adjserved:", err)
 			return 1
 		}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"syscall"
@@ -326,5 +327,26 @@ func TestBadFlags(t *testing.T) {
 	out.Reset()
 	if code := run([]string{"-graphs", "/nonexistent-dir-xyz"}, &out, &out); code != 1 {
 		t.Errorf("empty graphs dir: code = %d, want 1", code)
+	}
+}
+
+// TestOperationsDocCoversFlags asserts every flag the binary accepts is
+// documented in OPERATIONS.md (as `-name`), so the operator guide cannot
+// silently fall behind the flag set.
+func TestOperationsDocCoversFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	run([]string{"-h"}, &stdout, &stderr)
+	doc, err := os.ReadFile("../../OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("read OPERATIONS.md: %v", err)
+	}
+	flags := regexp.MustCompile(`(?m)^\s+-([a-z][a-z0-9-]*)`).FindAllStringSubmatch(stderr.String(), -1)
+	if len(flags) < 10 {
+		t.Fatalf("parsed only %d flags from usage output:\n%s", len(flags), stderr.String())
+	}
+	for _, m := range flags {
+		if !bytes.Contains(doc, []byte("`-"+m[1]+"`")) {
+			t.Errorf("flag -%s is not documented in OPERATIONS.md", m[1])
+		}
 	}
 }

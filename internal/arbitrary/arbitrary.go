@@ -1,11 +1,3 @@
-// Package arbitrary implements the arbitrary-order insertion-only edge
-// streaming model that Section 1.1 of the paper contrasts with the
-// adjacency-list model: each edge appears exactly once, in adversarial
-// order, with no locality promise. It provides the model's classic triangle
-// counting algorithms — the Buriol et al. edge-plus-vertex sampler and the
-// two-pass wedge-closure estimator behind the Θ(m^{3/2}/T) const-pass bound
-// of Bera–Chakrabarti and McGregor–Vorotnikova–Vu — so experiments can
-// measure what the adjacency-list promise buys (experiment M1).
 package arbitrary
 
 import (

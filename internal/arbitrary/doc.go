@@ -1,0 +1,22 @@
+// Package arbitrary implements the arbitrary-order insertion-only edge
+// streaming model that Section 1.1 of the paper contrasts with the
+// adjacency-list model: each edge appears exactly once, in adversarial
+// order, with no locality promise.
+//
+// It provides the model's classic triangle counting algorithms — the
+// Buriol et al. edge-plus-vertex sampler (BuriolSampler, one pass) and the
+// two-pass wedge-closure estimator (TwoPassWedge) behind the Θ(m^{3/2}/T)
+// const-pass bound of Bera–Chakrabarti and McGregor–Vorotnikova–Vu — so
+// experiments can measure what the adjacency-list promise buys. The
+// headline comparison is experiment M1: in this model the required space
+// grows with the wedge count P2, while the adjacency-list two-pass
+// algorithm's Õ(m/T^{2/3}) does not, because list locality lets an
+// algorithm see a whole neighborhood before deciding what to retain.
+//
+// The package is deliberately self-contained and minimal: a Stream is just
+// an edge sequence (FromGraph shuffles deterministically under a seed), an
+// Algorithm is driven by Run replaying the stream once per pass, and an
+// Estimator adds the estimate and the words-of-state figure charged
+// through the same space meter the rest of the repository uses — so its
+// numbers land in the same tables.
+package arbitrary

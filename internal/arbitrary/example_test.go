@@ -1,0 +1,32 @@
+package arbitrary_test
+
+import (
+	"fmt"
+
+	"adjstream/internal/arbitrary"
+	"adjstream/internal/graph"
+)
+
+// At sampling probability 1 every edge enters the sample, so the two-pass
+// wedge estimator closes every wedge and the estimate collapses to the
+// exact triangle count — the estimator's mechanics without sampling noise.
+// K5 has C(5,3) = 10 triangles.
+func Example() {
+	b := graph.NewBuilder()
+	for u := graph.V(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			b.AddIfAbsent(u, v)
+		}
+	}
+	g := b.Graph()
+
+	est, err := arbitrary.NewTwoPassWedge(1.0, 1)
+	if err != nil {
+		panic(err)
+	}
+	arbitrary.Run(arbitrary.FromGraph(g, 42), est)
+	fmt.Printf("estimate %.0f (exact %d) in %d passes\n",
+		est.Estimate(), g.Triangles(), est.Passes())
+	// Output:
+	// estimate 10 (exact 10) in 2 passes
+}

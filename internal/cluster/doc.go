@@ -1,0 +1,35 @@
+// Package cluster scales adjserved horizontally without changing a single
+// answer. The observation that makes this safe is structural: a median-of-k
+// estimation is k independent estimator copies whose results meet only at
+// the final median, and copy i's seed is a pure function of the request
+// seed and i — never of how the copies were partitioned. Any disjoint cover
+// of [0,k) by copy ranges, executed anywhere, therefore merges into the
+// bit-identical single-node result.
+//
+// The Scheduler is the proxy half of that contract. For each request it
+//
+//   - derives the estimate-shaped spec (distinguish requests become their
+//     underlying estimator via serve.DeriveEstimate),
+//   - consistent-hashes the graph name to a preference order of replicas
+//     (Ring), healthy replicas first,
+//   - cuts the k copies into balanced contiguous ranges and POSTs each to a
+//     replica's /v1/shard as JSON, receiving raw "adjM" snapshot-set bytes
+//     back (the same framing cyclecount -snapshot writes to disk),
+//   - retries failed shards against alternate replicas with capped
+//     exponential backoff, optionally hedging slow attempts, and
+//   - merges the snapshots with adjstream.MergeSnapshots and rebuilds the
+//     serve.EstimateResponse exactly as the local path would have.
+//
+// Scheduler.Run satisfies serve.RemoteRunner, which is the entire
+// integration surface: a serve.Server whose Config.Remote is Run becomes a
+// cluster proxy (cmd/adjproxy), with the server's result cache, request
+// coalescing, batch endpoint, and drain machinery operating unchanged in
+// front — cache keys fingerprint the request and dataset, and the proxied
+// response is byte-identical to the single-node one (ElapsedMS aside), so
+// the cache cannot tell the difference. When no replica can complete a run,
+// Run reports an error wrapping serve.ErrRemoteUnavailable and the server
+// degrades to local single-node execution.
+//
+// Everything is observable under the cluster.* telemetry namespace; see
+// telemetry.go and OPERATIONS.md.
+package cluster

@@ -1,0 +1,30 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"adjstream/internal/cluster"
+)
+
+// The ring maps a graph name to a stable preference order over replicas.
+// Marking a replica unhealthy reorders preference (healthy replicas
+// first) but never moves placement: when it recovers, the original order
+// returns, so the replica whose stream cache is warm for a graph stays
+// its primary.
+func ExampleRing() {
+	r := cluster.NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 64)
+
+	prefer := r.Prefer("my-graph")
+	fmt.Println("replicas ranked:", len(prefer))
+
+	primary := prefer[0]
+	r.SetHealthy(primary, false)
+	fmt.Println("demoted while unhealthy:", r.Prefer("my-graph")[0] != primary)
+
+	r.SetHealthy(primary, true)
+	fmt.Println("restored on recovery:", r.Prefer("my-graph")[0] == primary)
+	// Output:
+	// replicas ranked: 3
+	// demoted while unhealthy: true
+	// restored on recovery: true
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over replica base URLs with health
+// tracking. Placement is a function of the configured replica set alone —
+// each replica owns VirtualNodes points on a 64-bit FNV-1a circle — so
+// every proxy holding the same -replicas list routes a graph to the same
+// primary without coordination. Health does not move placement (that would
+// reshuffle cache-warm shards on every flap); it only reorders preference:
+// Prefer walks the circle clockwise from the key's hash collecting each
+// replica once, then stable-partitions the walk so currently-healthy
+// replicas come first. A replica marked unhealthy therefore remains a
+// last-resort alternate rather than vanishing.
+type Ring struct {
+	mu      sync.RWMutex
+	healthy map[string]bool
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica string
+}
+
+// hash64 is FNV-1a over s, finished with a splitmix64 avalanche. The
+// finisher matters: raw FNV of short names differing in one trailing
+// character lands within ~2^40 of each other — far closer than the ~2^56
+// average gap between ring points — so a fleet serving "g-0"…"g-199"
+// would hash every graph into the same gap and onto one replica.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing builds a ring with vnodes points per replica (minimum 1).
+// Replicas start healthy; probes and request outcomes adjust that.
+func NewRing(replicas []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &Ring{
+		healthy: make(map[string]bool, len(replicas)),
+		points:  make([]ringPoint, 0, len(replicas)*vnodes),
+	}
+	for _, rep := range replicas {
+		if _, dup := r.healthy[rep]; dup {
+			continue
+		}
+		r.healthy[rep] = true
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash64(rep + "#" + strconv.Itoa(i)), rep})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.replica < b.replica
+	})
+	return r
+}
+
+// Prefer returns every replica exactly once, ordered by preference for key:
+// the clockwise walk from the key's hash point, healthy replicas first.
+// The slice is freshly allocated; callers may reorder it.
+func (r *Ring) Prefer(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= hash64(key)
+	})
+	seen := make(map[string]bool, len(r.healthy))
+	walk := make([]string, 0, len(r.healthy))
+	for i := 0; i < len(r.points) && len(walk) < len(r.healthy); i++ {
+		rep := r.points[(start+i)%len(r.points)].replica
+		if !seen[rep] {
+			seen[rep] = true
+			walk = append(walk, rep)
+		}
+	}
+	ordered := make([]string, 0, len(walk))
+	for _, rep := range walk {
+		if r.healthy[rep] {
+			ordered = append(ordered, rep)
+		}
+	}
+	for _, rep := range walk {
+		if !r.healthy[rep] {
+			ordered = append(ordered, rep)
+		}
+	}
+	return ordered
+}
+
+// SetHealthy records replica's health and reports whether that changed it.
+// Unknown replicas are ignored (reported as unchanged).
+func (r *Ring) SetHealthy(replica string, ok bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, known := r.healthy[replica]
+	if !known || cur == ok {
+		return false
+	}
+	r.healthy[replica] = ok
+	return true
+}
+
+// HealthyCount reports how many replicas are currently marked healthy.
+func (r *Ring) HealthyCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, ok := range r.healthy {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Replicas returns the configured replica set, sorted.
+func (r *Ring) Replicas() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.healthy))
+	for rep := range r.healthy {
+		out = append(out, rep)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingPreferStableAndComplete(t *testing.T) {
+	reps := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(reps, 64)
+	first := r.Prefer("k6")
+	if len(first) != 3 {
+		t.Fatalf("Prefer returned %d replicas, want 3", len(first))
+	}
+	seen := map[string]bool{}
+	for _, rep := range first {
+		seen[rep] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Prefer repeated a replica: %v", first)
+	}
+	// Placement is deterministic: a fresh ring over the same replica set
+	// orders the same key identically.
+	if again := NewRing(reps, 64).Prefer("k6"); !reflect.DeepEqual(first, again) {
+		t.Errorf("Prefer not deterministic: %v vs %v", first, again)
+	}
+	// Replica order in the config must not matter.
+	if perm := NewRing([]string{reps[2], reps[0], reps[1]}, 64).Prefer("k6"); !reflect.DeepEqual(first, perm) {
+		t.Errorf("Prefer depends on config order: %v vs %v", first, perm)
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	reps := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(reps, 64)
+	primaries := map[string]int{}
+	for i := 0; i < 200; i++ {
+		primaries[r.Prefer(fmt.Sprintf("graph-%d", i))[0]]++
+	}
+	if len(primaries) != len(reps) {
+		t.Fatalf("only %d of %d replicas are ever primary: %v", len(primaries), len(reps), primaries)
+	}
+	for rep, n := range primaries {
+		if n < 10 {
+			t.Errorf("replica %s is primary for only %d/200 keys", rep, n)
+		}
+	}
+}
+
+func TestRingHealthReordersNotReplaces(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 64)
+	order := r.Prefer("g")
+	if changed := r.SetHealthy(order[0], false); !changed {
+		t.Fatal("SetHealthy(false) on a healthy replica reported no change")
+	}
+	if changed := r.SetHealthy(order[0], false); changed {
+		t.Error("repeated SetHealthy(false) reported a change")
+	}
+	if r.HealthyCount() != 2 {
+		t.Fatalf("HealthyCount = %d, want 2", r.HealthyCount())
+	}
+	after := r.Prefer("g")
+	if len(after) != 3 {
+		t.Fatalf("unhealthy replica vanished from Prefer: %v", after)
+	}
+	if after[2] != order[0] {
+		t.Errorf("unhealthy replica not demoted to last: %v (was primary %s)", after, order[0])
+	}
+	// The healthy pair keeps its relative ring order.
+	if after[0] != order[1] || after[1] != order[2] {
+		t.Errorf("healthy replicas reshuffled: %v, want [%s %s] first", after, order[1], order[2])
+	}
+	r.SetHealthy(order[0], true)
+	if got := r.Prefer("g"); !reflect.DeepEqual(got, order) {
+		t.Errorf("recovery did not restore placement order: %v vs %v", got, order)
+	}
+	if r.SetHealthy("http://unknown:1", false) {
+		t.Error("SetHealthy on an unknown replica reported a change")
+	}
+}
+
+func TestCutShards(t *testing.T) {
+	cases := []struct {
+		k, n int
+		want []shardRange
+	}{
+		{1, 3, []shardRange{{0, 1}}},
+		{5, 3, []shardRange{{0, 1}, {1, 3}, {3, 5}}},
+		{6, 3, []shardRange{{0, 2}, {2, 4}, {4, 6}}},
+		{4, 1, []shardRange{{0, 4}}},
+		{3, 0, []shardRange{{0, 3}}},
+	}
+	for _, tc := range cases {
+		if got := cutShards(tc.k, tc.n); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("cutShards(%d, %d) = %v, want %v", tc.k, tc.n, got, tc.want)
+		}
+	}
+}

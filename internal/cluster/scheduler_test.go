@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adjstream"
+	"adjstream/internal/gen"
+	"adjstream/internal/serve"
+)
+
+// replica is one in-process adjserved under test control: shard requests
+// can be failed or delayed without touching the serve internals.
+type replica struct {
+	ts    *httptest.Server
+	srv   *serve.Server
+	fail  atomic.Int64 // fail this many /v1/shard calls with 500
+	delay atomic.Int64 // sleep this many ns before serving /v1/shard
+	hits  atomic.Int64 // /v1/shard requests that reached serve
+}
+
+// newFleet starts n replicas over an identical catalog (k9 plus star16, so
+// preference orders differ between graphs).
+func newFleet(t *testing.T, n int) []*replica {
+	t.Helper()
+	fleet := make([]*replica, n)
+	for i := range fleet {
+		cat := serve.NewCatalog()
+		if _, err := cat.Add("k9", gen.Complete(9)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cat.Add("tri32", gen.DisjointTriangles(32)); err != nil {
+			t.Fatal(err)
+		}
+		rep := &replica{srv: serve.New(cat, serve.Config{})}
+		h := rep.srv.Handler()
+		rep.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/shard" {
+				if d := rep.delay.Load(); d > 0 {
+					time.Sleep(time.Duration(d))
+				}
+				if rep.fail.Load() > 0 {
+					rep.fail.Add(-1)
+					http.Error(w, "injected failure", http.StatusInternalServerError)
+					return
+				}
+				rep.hits.Add(1)
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(rep.ts.Close)
+		fleet[i] = rep
+	}
+	return fleet
+}
+
+func urls(fleet []*replica) []string {
+	out := make([]string, len(fleet))
+	for i, r := range fleet {
+		out[i] = r.ts.URL
+	}
+	return out
+}
+
+// byURL finds the fleet member serving url.
+func byURL(t *testing.T, fleet []*replica, url string) *replica {
+	t.Helper()
+	for _, r := range fleet {
+		if r.ts.URL == url {
+			return r
+		}
+	}
+	t.Fatalf("no replica at %s", url)
+	return nil
+}
+
+// newScheduler builds a scheduler over the fleet with fast test timings
+// and probes disabled unless cfg overrides them.
+func newScheduler(t *testing.T, fleet []*replica, cfg Config) *Scheduler {
+	t.Helper()
+	cfg.Replicas = urls(fleet)
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = -1
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = time.Millisecond
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// singleNode asks one replica's JSON endpoint for the reference answer.
+func singleNode(t *testing.T, rep *replica, kind string, req serve.EstimateRequest) serve.EstimateResponse {
+	t.Helper()
+	b, _ := json.Marshal(req)
+	resp, err := http.Post(rep.ts.URL+"/v1/"+kind, "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-node %s status = %d", kind, resp.StatusCode)
+	}
+	var out serve.EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// wantIdentical compares a scheduled response to the single-node reference,
+// ignoring only ElapsedMS (inherently timing-dependent).
+func wantIdentical(t *testing.T, got, want serve.EstimateResponse) {
+	t.Helper()
+	got.ElapsedMS, want.ElapsedMS = 0, 0
+	if got.Found != nil || want.Found != nil {
+		if (got.Found == nil) != (want.Found == nil) || *got.Found != *want.Found {
+			t.Errorf("found mismatch: %v vs %v", got.Found, want.Found)
+		}
+		got.Found, want.Found = nil, nil
+	}
+	if got != want {
+		t.Errorf("scheduled response differs from single-node:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func seedPtr(v uint64) *uint64 { return &v }
+
+func TestSchedulerMatchesSingleNode(t *testing.T) {
+	fleet := newFleet(t, 3)
+	s := newScheduler(t, fleet, Config{})
+	req := serve.EstimateRequest{
+		Graph:      "k9",
+		Algorithm:  string(adjstream.AlgoTwoPassTriangle),
+		SampleProb: 0.5,
+		Copies:     7,
+		Parallel:   true,
+		Seed:       seedPtr(11),
+	}
+	got, err := s.Run(context.Background(), "estimate", req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Driver != string(adjstream.DriverBroadcast) {
+		t.Errorf("driver = %q, want %q (normalized default)", got.Driver, adjstream.DriverBroadcast)
+	}
+	wantIdentical(t, got, singleNode(t, fleet[0], "estimate", req))
+
+	// Every replica served at least one shard of the 3-way fan-out.
+	for i, rep := range fleet {
+		if rep.hits.Load() == 0 {
+			t.Errorf("replica %d served no shards", i)
+		}
+	}
+}
+
+func TestSchedulerDistinguish(t *testing.T) {
+	fleet := newFleet(t, 3)
+	s := newScheduler(t, fleet, Config{})
+	for _, cycleLen := range []int{3, 4, 5} {
+		req := serve.EstimateRequest{Graph: "tri32", CycleLen: cycleLen, Copies: 3, Seed: seedPtr(5)}
+		got, err := s.Run(context.Background(), "distinguish", req, nil)
+		if err != nil {
+			t.Fatalf("cycle_len %d: %v", cycleLen, err)
+		}
+		if got.Found == nil {
+			t.Fatalf("cycle_len %d: no found bit", cycleLen)
+		}
+		if want := cycleLen == 3; *got.Found != want {
+			t.Errorf("cycle_len %d on disjoint triangles: found = %v, want %v", cycleLen, *got.Found, want)
+		}
+		if got.Algorithm != "" {
+			t.Errorf("cycle_len %d: distinguish response leaked algorithm %q", cycleLen, got.Algorithm)
+		}
+		wantIdentical(t, got, singleNode(t, fleet[1], "distinguish", req))
+	}
+}
+
+func TestSchedulerSingleCopyNoDriver(t *testing.T) {
+	fleet := newFleet(t, 3)
+	s := newScheduler(t, fleet, Config{})
+	req := serve.EstimateRequest{Graph: "k9", Algorithm: "exact", Seed: seedPtr(1)}
+	got, err := s.Run(context.Background(), "estimate", req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Driver != "" {
+		t.Errorf("single-copy run reported driver %q, want empty", got.Driver)
+	}
+	wantIdentical(t, got, singleNode(t, fleet[2], "estimate", req))
+}
+
+func TestSchedulerRetriesFailedShard(t *testing.T) {
+	fleet := newFleet(t, 3)
+	s := newScheduler(t, fleet, Config{})
+	req := serve.EstimateRequest{
+		Graph: "k9", Algorithm: string(adjstream.AlgoThreePassTriangle),
+		SampleSize: 30, Copies: 5, Parallel: true, Seed: seedPtr(3),
+	}
+	// Kill the primary's next shard attempt (only the shard whose first
+	// choice is the primary touches it); the retry must land that shard
+	// on an alternate and still produce the identical answer.
+	primary := byURL(t, fleet, s.Ring().Prefer("k9")[0])
+	primary.fail.Store(1)
+	got, err := s.Run(context.Background(), "estimate", req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdentical(t, got, singleNode(t, fleet[0], "estimate", req))
+	if primary.fail.Load() != 0 {
+		t.Error("injected failure was not consumed")
+	}
+	// The failed attempt demoted the primary in the ring.
+	if s.Ring().Prefer("k9")[0] == primary.ts.URL {
+		t.Error("failed primary was not demoted in the preference order")
+	}
+}
+
+func TestSchedulerAllReplicasDown(t *testing.T) {
+	fleet := newFleet(t, 2)
+	s := newScheduler(t, fleet, Config{Attempts: 2})
+	for _, rep := range fleet {
+		rep.ts.Close()
+	}
+	_, err := s.Run(context.Background(), "estimate",
+		serve.EstimateRequest{Graph: "k9", Algorithm: "exact"}, nil)
+	if !errors.Is(err, serve.ErrRemoteUnavailable) {
+		t.Fatalf("err = %v, want wrapping serve.ErrRemoteUnavailable", err)
+	}
+	if s.Ring().HealthyCount() != 0 {
+		t.Errorf("HealthyCount = %d after total outage, want 0", s.Ring().HealthyCount())
+	}
+}
+
+func TestSchedulerCancellationIsNotUnavailable(t *testing.T) {
+	fleet := newFleet(t, 1)
+	fleet[0].delay.Store(int64(time.Second))
+	s := newScheduler(t, fleet, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := s.Run(ctx, "estimate", serve.EstimateRequest{Graph: "k9", Algorithm: "exact"}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, serve.ErrRemoteUnavailable) {
+		t.Error("caller cancellation must not trigger local fallback")
+	}
+}
+
+func TestSchedulerHedgesSlowShard(t *testing.T) {
+	fleet := newFleet(t, 2)
+	s := newScheduler(t, fleet, Config{HedgeAfter: 10 * time.Millisecond, MaxShards: 1})
+	req := serve.EstimateRequest{Graph: "k9", Algorithm: "exact", Seed: seedPtr(9)}
+	prefer := s.Ring().Prefer("k9")
+	slow, fast := byURL(t, fleet, prefer[0]), byURL(t, fleet, prefer[1])
+	slow.delay.Store(int64(400 * time.Millisecond))
+
+	start := time.Now()
+	got, err := s.Run(context.Background(), "estimate", req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= 400*time.Millisecond {
+		t.Errorf("run took %v; the hedge should have answered before the slow primary", elapsed)
+	}
+	if fast.hits.Load() == 0 {
+		t.Error("hedge replica served no shard")
+	}
+	slow.delay.Store(0)
+	wantIdentical(t, got, singleNode(t, slow, "estimate", req))
+}
+
+func TestSchedulerProbesFeedRing(t *testing.T) {
+	fleet := newFleet(t, 2)
+	s := newScheduler(t, fleet, Config{ProbeInterval: 10 * time.Millisecond})
+	// Draining flips /healthz to 503; the probe loop must demote the
+	// replica, and promote it again once draining ends.
+	fleet[0].srv.SetDraining(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Ring().HealthyCount() != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.Ring().HealthyCount(); got != 1 {
+		t.Fatalf("HealthyCount = %d while one replica drains, want 1", got)
+	}
+	fleet[0].srv.SetDraining(false)
+	for s.Ring().HealthyCount() != 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.Ring().HealthyCount(); got != 2 {
+		t.Fatalf("HealthyCount = %d after recovery, want 2", got)
+	}
+}
+
+func TestSchedulerConfidenceCopies(t *testing.T) {
+	fleet := newFleet(t, 3)
+	s := newScheduler(t, fleet, Config{})
+	req := serve.EstimateRequest{
+		Graph: "k9", Algorithm: string(adjstream.AlgoTwoPassTriangle),
+		SampleProb: 0.5, Confidence: 0.9, Parallel: true, Seed: seedPtr(2),
+	}
+	got, err := s.Run(context.Background(), "estimate", req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdentical(t, got, singleNode(t, fleet[0], "estimate", req))
+	if got.Copies <= 1 {
+		t.Errorf("confidence 0.9 ran %d copies, want > 1", got.Copies)
+	}
+}

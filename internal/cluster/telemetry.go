@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"time"
+
+	"adjstream/internal/telemetry"
+)
+
+// Cluster telemetry, following the serve/driver convention: handles bind
+// once per scheduler from the global registry, and every update is a
+// nil-check no-op when telemetry is disabled.
+//
+// Metric names:
+//
+//	cluster.requests         counter   — estimate/distinguish runs scheduled
+//	cluster.shard.requests   counter   — shard attempts sent to replicas
+//	                                     (includes retries and hedges)
+//	cluster.shard.retries    counter   — attempts after the first, per shard
+//	cluster.shard.failures   counter   — shards that exhausted every attempt
+//	cluster.shard.rtt_ns     histogram — wall time of successful shard calls
+//	cluster.hedge.launched   counter   — hedge requests fired
+//	cluster.hedge.wins       counter   — hedges that answered first
+//	cluster.fallback.local   counter   — runs handed back for local execution
+//	                                     (no replica could complete them)
+//	cluster.ring.replicas    gauge     — replicas currently marked healthy
+//	cluster.ring.changes     counter   — health transitions (either way)
+//	cluster.probe.failures   counter   — health probes that failed
+type schedTele struct {
+	requests      *telemetry.Counter
+	shardRequests *telemetry.Counter
+	shardRetries  *telemetry.Counter
+	shardFailures *telemetry.Counter
+	shardRTT      *telemetry.Histogram
+	hedgeLaunched *telemetry.Counter
+	hedgeWins     *telemetry.Counter
+	fallbackLocal *telemetry.Counter
+	ringReplicas  *telemetry.Gauge
+	ringChanges   *telemetry.Counter
+	probeFailures *telemetry.Counter
+}
+
+// teleForScheduler binds the handle set, or the all-nil zero value when
+// telemetry is disabled.
+func teleForScheduler() schedTele {
+	r := telemetry.Global()
+	if r == nil {
+		return schedTele{}
+	}
+	return schedTele{
+		requests:      r.Counter("cluster.requests"),
+		shardRequests: r.Counter("cluster.shard.requests"),
+		shardRetries:  r.Counter("cluster.shard.retries"),
+		shardFailures: r.Counter("cluster.shard.failures"),
+		shardRTT:      r.Histogram("cluster.shard.rtt_ns"),
+		hedgeLaunched: r.Counter("cluster.hedge.launched"),
+		hedgeWins:     r.Counter("cluster.hedge.wins"),
+		fallbackLocal: r.Counter("cluster.fallback.local"),
+		ringReplicas:  r.Gauge("cluster.ring.replicas"),
+		ringChanges:   r.Counter("cluster.ring.changes"),
+		probeFailures: r.Counter("cluster.probe.failures"),
+	}
+}
+
+// add is the nil-safe counter bump.
+func add(c *telemetry.Counter, n int64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+// observeRTT records one successful shard round trip.
+func (t schedTele) observeRTT(d time.Duration) {
+	if t.shardRTT != nil {
+		t.shardRTT.Observe(int64(d))
+	}
+}
+
+// health publishes a ring transition and the new healthy count.
+func (t schedTele) health(changed bool, healthy int) {
+	if t.ringReplicas == nil {
+		return
+	}
+	if changed {
+		t.ringChanges.Add(1)
+	}
+	t.ringReplicas.Set(int64(healthy))
+}

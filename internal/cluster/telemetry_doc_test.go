@@ -1,0 +1,33 @@
+package cluster
+
+// Guards OPERATIONS.md against drift: binds the scheduler's handle set and
+// asserts the operator guide names every resulting cluster.* metric.
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"adjstream/internal/telemetry"
+)
+
+func TestOperationsDocCoversClusterMetrics(t *testing.T) {
+	doc, err := os.ReadFile("../../OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("read OPERATIONS.md: %v", err)
+	}
+	telemetry.Disable()
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	teleForScheduler()
+
+	names := reg.Names()
+	if len(names) == 0 {
+		t.Fatal("no metrics registered")
+	}
+	for _, name := range names {
+		if !regexp.MustCompile("`" + regexp.QuoteMeta(name) + "`").Match(doc) {
+			t.Errorf("metric %s is missing from OPERATIONS.md", name)
+		}
+	}
+}

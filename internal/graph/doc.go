@@ -1,0 +1,20 @@
+// Package graph provides an in-memory simple undirected graph together with
+// exact subgraph counting (triangles, 4-cycles, ℓ-cycles) and the degree and
+// wedge statistics that the streaming estimators in this repository are
+// measured against. It is the ground-truth substrate for every experiment:
+// a workload is generated or read once as a Graph, the exact counts come
+// from here, and a streaming Estimate's relative error is measured against
+// them.
+//
+// Graphs are built incrementally with a Builder (or in one shot with
+// FromEdges) and are immutable once finalized, which is what lets derived
+// quantities — triangle counts, per-edge loads, degree moments, the motif
+// census — be computed once and cached behind sync.Once without locking on
+// the read path. The heavier counting kernels (CountCycles, the motif
+// census) run on a cached CSR projection of the adjacency structure; see
+// csr.go and the BenchmarkExactKernels suite.
+//
+// Vertices are arbitrary non-negative int64 values and need not be
+// contiguous. Edges are undirected; the canonical orientation (Norm) has
+// U < V and is required wherever an Edge is used as a map key.
+package graph

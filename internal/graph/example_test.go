@@ -1,0 +1,27 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"adjstream/internal/graph"
+)
+
+// Build the complete graph K4 and read off the exact cycle statistics that
+// streaming estimates are measured against.
+func Example() {
+	b := graph.NewBuilder()
+	for u := graph.V(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddIfAbsent(u, v)
+		}
+	}
+	g := b.Graph()
+	c4, _ := g.CountCycles(4)
+	fmt.Println("triangles:", g.Triangles())
+	fmt.Println("4-cycles:", c4)
+	fmt.Println("transitivity:", g.Transitivity())
+	// Output:
+	// triangles: 4
+	// 4-cycles: 3
+	// transitivity: 1
+}

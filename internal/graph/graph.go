@@ -1,7 +1,3 @@
-// Package graph provides an in-memory simple undirected graph together with
-// exact subgraph counting (triangles, 4-cycles, ℓ-cycles) and the degree and
-// wedge statistics that the streaming estimators in this repository are
-// measured against. It is the ground-truth substrate for every experiment.
 package graph
 
 import (

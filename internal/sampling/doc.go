@@ -1,0 +1,26 @@
+// Package sampling provides the streaming samplers used by the cycle
+// counting algorithms: seeded 64-bit hashing of edges (Hash64, HashEdge),
+// uniform fixed-size reservoir sampling (Reservoir), fixed-probability hash
+// sampling (FixedProb), and bottom-k hash sampling of edges (BottomK).
+//
+// FixedProb and BottomK both implement EdgeSampler and both realize the
+// paper's "hash-based sampling method": an edge's membership in the sample
+// is a function of its hash, so it is decided at the edge's FIRST
+// appearance in the stream — the first-sight property the two-pass
+// correctness argument (Section 2.1 of the paper) depends on. They differ
+// in the guarantee: FixedProb includes each edge independently with
+// probability p, while BottomK keeps the k smallest-hash edges — exactly
+// min(k, m) of them, a uniformly random subset.
+//
+// BottomK additionally supports shrinking its capacity mid-stream
+// (Shrink): because the inclusion threshold only decreases, every edge of
+// the final sample has still been tracked continuously since its first
+// appearance, which is what makes the adaptive space budgets of
+// AdaptiveTwoPassTriangle sound when T is unknown. Evictions are reported
+// through an optional callback so estimators can retract dependent state
+// (collected triangles, wedges) and stay unbiased.
+//
+// Everything is deterministic given its seed; determinism is what lets
+// split runs merge bit-identically and the result cache key on
+// (options, seed).
+package sampling

@@ -1,0 +1,39 @@
+package sampling_test
+
+import (
+	"fmt"
+
+	"adjstream/internal/graph"
+	"adjstream/internal/sampling"
+)
+
+// A bottom-k sampler keeps the min(k, m) smallest-hash edges — a uniformly
+// random subset whose membership is decided at each edge's first
+// appearance. Offering a retained edge again is a no-op reporting true, so
+// both stream appearances of an edge may be offered safely.
+func ExampleBottomK() {
+	s := sampling.NewBottomK(8, 1, nil)
+	for u := graph.V(0); u < 100; u++ {
+		s.Offer(u, u+1000)
+	}
+	fmt.Println("kept:", s.Len())
+	fmt.Println("1/Pr[e in S]:", s.InclusionScale(100))
+	e := s.Edges()[0]
+	fmt.Println("re-offer retained edge:", s.Offer(e.U, e.V))
+	// Output:
+	// kept: 8
+	// 1/Pr[e in S]: 12.5
+	// re-offer retained edge: true
+}
+
+// A reservoir holds a uniform size-k subset of everything offered so far,
+// deterministically under its seed.
+func ExampleReservoir() {
+	r := sampling.NewReservoir[int](10, 7)
+	for i := 0; i < 1000; i++ {
+		r.Offer(i)
+	}
+	fmt.Println(r.Len(), "of", r.Offered(), "saturated:", r.Saturated())
+	// Output:
+	// 10 of 1000 saturated: true
+}

@@ -1,10 +1,3 @@
-// Package sampling provides the streaming samplers used by the cycle
-// counting algorithms: seeded 64-bit hashing of edges, uniform fixed-size
-// reservoir sampling, fixed-probability hash sampling, and bottom-k hash
-// sampling of edges. The bottom-k sampler has the property the paper's
-// two-pass triangle algorithm relies on (Section 2.1): every edge of the
-// final sample has been tracked continuously since its first appearance in
-// the stream, because the running inclusion threshold only decreases.
 package sampling
 
 import "adjstream/internal/graph"

@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"adjstream"
+	"adjstream/internal/gen"
+)
+
+// LoadDemo fills cat with small generated graphs — k16 (C(16,3) triangles),
+// triangles64, fourcycles64, and er400 — so a server is usable without any
+// data files. Both adjserved -demo and adjproxy -demo load exactly this set,
+// which is what makes a demo fleet coherent: every replica must hold the
+// same graph under the same name (same content fingerprint) for shard
+// results to merge into the single-node answer.
+func LoadDemo(cat *Catalog) error {
+	er, err := gen.ErdosRenyi(400, 0.05, 1)
+	if err != nil {
+		return err
+	}
+	for _, d := range []struct {
+		name string
+		g    *adjstream.Graph
+	}{
+		{"k16", gen.Complete(16)},
+		{"triangles64", gen.DisjointTriangles(64)},
+		{"fourcycles64", gen.DisjointFourCycles(64)},
+		{"er400", er},
+	} {
+		if _, err := cat.Add(d.name, d.g); err != nil {
+			return err
+		}
+	}
+	return nil
+}

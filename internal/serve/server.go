@@ -43,6 +43,17 @@ type Config struct {
 	// CacheTTL expires cached results by age; 0 keeps entries until LRU
 	// eviction.
 	CacheTTL time.Duration
+	// Remote, when set, executes estimations through it instead of the
+	// local pool — the proxy half of cluster mode (internal/cluster's
+	// scheduler). The result cache and coalescing sit in front of it
+	// unchanged: remote responses are byte-identical to local ones. When a
+	// remote run fails with an error wrapping ErrRemoteUnavailable, the
+	// server degrades gracefully to the local pool+library path unless
+	// NoLocalFallback is set.
+	Remote RemoteRunner
+	// NoLocalFallback disables the local-execution fallback when Remote is
+	// set and unavailable; the request then fails with 503.
+	NoLocalFallback bool
 
 	// testHookRun, when set, runs inside the worker slot before the
 	// estimation starts — the test seam for deterministic saturation,
@@ -125,9 +136,9 @@ type EstimateRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// effectiveSeed resolves the seed that actually runs: the request's when
+// EffectiveSeed resolves the seed that actually runs: the request's when
 // given (including an explicit 0), the server default otherwise.
-func (r EstimateRequest) effectiveSeed() uint64 {
+func (r EstimateRequest) EffectiveSeed() uint64 {
 	if r.Seed != nil {
 		return *r.Seed
 	}
@@ -146,7 +157,7 @@ func (r EstimateRequest) options() adjstream.Options {
 		Confidence: r.Confidence,
 		Parallel:   r.Parallel,
 		Driver:     adjstream.Driver(r.Driver),
-		Seed:       r.effectiveSeed(),
+		Seed:       r.EffectiveSeed(),
 	}
 }
 
@@ -160,37 +171,18 @@ func (r EstimateRequest) validate(kind string) error {
 	default:
 		return fmt.Errorf("%w: unknown order %q (want sorted or random)", adjstream.ErrInvalidOptions, r.Order)
 	}
-	opts := r.options()
 	if kind != "distinguish" {
-		return opts.Validate()
+		return r.options().Validate()
 	}
-	if opts.Algorithm != "" {
+	if r.Algorithm != "" {
 		return fmt.Errorf("%w: Distinguish derives Algorithm from cycle_len; leave it empty", adjstream.ErrInvalidOptions)
 	}
-	cycleLen := opts.CycleLen
-	if cycleLen == 0 {
-		cycleLen = 3
+	if r.CycleLen != 0 && r.CycleLen < 3 {
+		return fmt.Errorf("%w: cycle length %d < 3", adjstream.ErrInvalidOptions, r.CycleLen)
 	}
-	if cycleLen < 3 {
-		return fmt.Errorf("%w: cycle length %d < 3", adjstream.ErrInvalidOptions, cycleLen)
-	}
-	// Mirror adjstream.DistinguishContext's derivation so Validate sees
-	// the options the run will actually use.
-	opts.CycleLen = 0
-	switch {
-	case cycleLen == 3:
-		opts.Algorithm = adjstream.AlgoNaiveTwoPass
-	case cycleLen == 4:
-		opts.Algorithm = adjstream.AlgoTwoPassFourCycle
-	default:
-		opts.Algorithm = adjstream.AlgoExact
-		opts.CycleLen = cycleLen
-		opts.SampleSize, opts.SampleProb = 0, 0
-	}
-	if cycleLen < 5 && opts.SampleSize == 0 && opts.SampleProb == 0 {
-		opts.SampleProb = 0.25
-	}
-	return opts.Validate()
+	// Validate the options the run will actually use — the same derivation
+	// DistinguishContext applies (and the proxy ships to shard replicas).
+	return DeriveEstimate(kind, r).options().Validate()
 }
 
 // key builds the canonical cache identity of this request against the
@@ -209,7 +201,7 @@ func (r EstimateRequest) key(kind string, fingerprint uint64) cacheKey {
 		confidence:  r.Confidence,
 		parallel:    r.Parallel,
 		driver:      r.Driver,
-		seed:        r.effectiveSeed(),
+		seed:        r.EffectiveSeed(),
 		order:       r.Order,
 	}
 }
@@ -331,6 +323,7 @@ func (s *Server) Handler() http.Handler {
 		s.handleRun(w, r, "distinguish")
 	})
 	mux.HandleFunc("/v1/estimate/batch", s.handleBatch)
+	mux.HandleFunc("/v1/shard", s.handleShard)
 	mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -346,7 +339,7 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrSaturated):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrRemoteUnavailable):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, adjstream.ErrUnknownAlgorithm),
 		errors.Is(err, adjstream.ErrInvalidOptions):
@@ -450,13 +443,28 @@ func (s *Server) runOne(ctx context.Context, kind string, req EstimateRequest, d
 	ctx, cancel := context.WithTimeout(ctx, s.timeoutFor(req))
 	defer cancel()
 	if s.cache == nil {
-		resp, err := s.admitAndRun(ctx, kind, req, ds)
+		resp, err := s.dispatch(ctx, kind, req, ds)
 		return resp, CacheBypass, err
 	}
 	return s.cache.Do(ctx, req.key(kind, ds.Fingerprint()), s.cfg.MaxTimeout,
 		func(runCtx context.Context) (EstimateResponse, error) {
-			return s.admitAndRun(runCtx, kind, req, ds)
+			return s.dispatch(runCtx, kind, req, ds)
 		})
+}
+
+// dispatch routes one fresh run: through the configured remote runner when
+// cluster mode is on (shard fan-out is network-bound, so it bypasses the
+// local worker pool — the replicas run their own admission), degrading to
+// the local pool+library path when the remote reports itself unavailable,
+// unless that fallback is disabled.
+func (s *Server) dispatch(ctx context.Context, kind string, req EstimateRequest, ds *Dataset) (EstimateResponse, error) {
+	if s.cfg.Remote != nil {
+		resp, err := s.cfg.Remote(ctx, kind, req, ds)
+		if err == nil || !errors.Is(err, ErrRemoteUnavailable) || s.cfg.NoLocalFallback {
+			return resp, err
+		}
+	}
+	return s.admitAndRun(ctx, kind, req, ds)
 }
 
 // admitAndRun acquires a worker slot under ctx and runs the estimation.
@@ -475,11 +483,11 @@ func (s *Server) run(ctx context.Context, kind string, req EstimateRequest, ds *
 	if s.cfg.testHookRun != nil {
 		s.cfg.testHookRun(ctx)
 	}
-	st, err := ds.Stream(req.Order, req.effectiveSeed())
+	st, err := ds.Stream(req.Order, req.EffectiveSeed())
 	if err != nil {
 		return EstimateResponse{}, err
 	}
-	resp := EstimateResponse{Graph: req.Graph, Algorithm: req.Algorithm, Seed: req.effectiveSeed()}
+	resp := EstimateResponse{Graph: req.Graph, Algorithm: req.Algorithm, Seed: req.EffectiveSeed()}
 	var res adjstream.Result
 	switch kind {
 	case "estimate":
@@ -595,10 +603,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		} else {
 			defer release()
 			solo := pending
-			if s.cache != nil {
+			if s.cache != nil && s.cfg.Remote == nil {
 				// Families need the cache only to publish results; group
 				// regardless, but keep the grouping off the bypass path so
-				// outcomes stay accurate there.
+				// outcomes stay accurate there. In cluster mode items go to
+				// the remote runner individually — the scheduler already
+				// shards each run's copies across the fleet.
 				solo = s.batchRunFamilies(ctx, batch.Requests, pending, datasets, items)
 			}
 			for _, i := range solo {
@@ -664,7 +674,7 @@ func (s *Server) batchRunFamily(ctx context.Context, reqs []EstimateRequest, idx
 			items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
 		}
 	}
-	st, err := ds.Stream(base.Order, base.effectiveSeed())
+	st, err := ds.Stream(base.Order, base.EffectiveSeed())
 	if err != nil {
 		fail(err)
 		return
@@ -699,7 +709,7 @@ func (s *Server) batchRunFamily(ctx context.Context, reqs []EstimateRequest, idx
 			M:          res.M,
 			Copies:     res.Copies,
 			Driver:     string(driver),
-			Seed:       reqs[i].effectiveSeed(),
+			Seed:       reqs[i].EffectiveSeed(),
 			ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
 		}
 		if s.cache != nil {
@@ -710,11 +720,12 @@ func (s *Server) batchRunFamily(ctx context.Context, reqs []EstimateRequest, idx
 }
 
 // batchRun executes one pending batch item under the batch's worker slot
-// and publishes the result to the cache.
+// (through the remote runner in cluster mode, with the usual local
+// fallback) and publishes the result to the cache.
 func (s *Server) batchRun(ctx context.Context, req EstimateRequest, ds *Dataset) BatchItem {
 	ictx, cancel := context.WithTimeout(ctx, s.timeoutFor(req))
 	defer cancel()
-	resp, err := s.run(ictx, "estimate", req, ds)
+	resp, err := s.runOrRemote(ictx, req, ds)
 	if err != nil {
 		return BatchItem{Error: err.Error(), Status: statusOf(err)}
 	}
@@ -724,6 +735,20 @@ func (s *Server) batchRun(ctx context.Context, req EstimateRequest, ds *Dataset)
 		outcome = CacheMiss
 	}
 	return BatchItem{Result: &resp, Status: http.StatusOK, Cache: string(outcome)}
+}
+
+// runOrRemote executes one estimate under the caller's worker slot,
+// preferring the remote runner in cluster mode (same fallback rules as
+// dispatch, but without a second pool acquisition — the caller already
+// holds a slot).
+func (s *Server) runOrRemote(ctx context.Context, req EstimateRequest, ds *Dataset) (EstimateResponse, error) {
+	if s.cfg.Remote != nil {
+		resp, err := s.cfg.Remote(ctx, "estimate", req, ds)
+		if err == nil || !errors.Is(err, ErrRemoteUnavailable) || s.cfg.NoLocalFallback {
+			return resp, err
+		}
+	}
+	return s.run(ctx, "estimate", req, ds)
 }
 
 // handleGraphs serves GET /v1/graphs.

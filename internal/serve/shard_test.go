@@ -1,0 +1,158 @@
+package serve
+
+// Tests for the replica half of cluster mode: POST /v1/shard runs a copy
+// range and returns adjM snapshot-set bytes that merge into the exact
+// single-node result.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"adjstream"
+	"adjstream/internal/stream"
+)
+
+// postShard sends a shard request and returns the status, content type, and
+// raw body.
+func postShard(t *testing.T, url string, req ShardRequest) (int, string, []byte) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url+"/v1/shard", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST /v1/shard: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+func TestShardEndpointMergesToSingleNode(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	base := EstimateRequest{
+		Graph:      "k6",
+		Algorithm:  string(adjstream.AlgoTwoPassTriangle),
+		SampleProb: 0.6,
+		Copies:     5,
+		Parallel:   true,
+		Seed:       seedPtr(7),
+	}
+	var want EstimateResponse
+	if code := post(t, ts, "/v1/estimate", base, &want); code != http.StatusOK {
+		t.Fatalf("single-node status = %d", code)
+	}
+
+	all := make([]adjstream.CopySnapshot, 5)
+	for _, rng := range [][2]int{{0, 2}, {2, 5}} {
+		code, ct, body := postShard(t, ts.URL, ShardRequest{EstimateRequest: base, CopyLo: rng[0], CopyHi: rng[1]})
+		if code != http.StatusOK {
+			t.Fatalf("shard [%d,%d) status = %d: %s", rng[0], rng[1], code, body)
+		}
+		if ct != stream.SnapshotSetContentType {
+			t.Errorf("content type = %q, want %q", ct, stream.SnapshotSetContentType)
+		}
+		indices, snaps, err := adjstream.ReadSnapshotSet(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("decode shard body: %v", err)
+		}
+		for i, idx := range indices {
+			if idx != rng[0]+i {
+				t.Fatalf("index %d = %d, want %d", i, idx, rng[0]+i)
+			}
+			all[idx] = snaps[i]
+		}
+	}
+	res, err := adjstream.MergeSnapshots(all)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if res.Estimate != want.Estimate || res.SpaceWords != want.SpaceWords ||
+		res.Passes != want.Passes || res.M != want.M || res.Copies != want.Copies {
+		t.Errorf("merged shard result (%v, %d, %d, %d, %d) != single-node (%v, %d, %d, %d, %d)",
+			res.Estimate, res.SpaceWords, res.Passes, res.M, res.Copies,
+			want.Estimate, want.SpaceWords, want.Passes, want.M, want.Copies)
+	}
+}
+
+func TestShardEndpointRejects(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	ok := EstimateRequest{Graph: "k6", Algorithm: "exact", Copies: 3}
+	cases := []struct {
+		name string
+		req  ShardRequest
+		want int
+	}{
+		{"range outside copies", ShardRequest{EstimateRequest: ok, CopyLo: 1, CopyHi: 9}, http.StatusBadRequest},
+		{"empty range", ShardRequest{EstimateRequest: ok, CopyLo: 2, CopyHi: 2}, http.StatusBadRequest},
+		{"unknown graph", ShardRequest{EstimateRequest: EstimateRequest{Graph: "nope", Algorithm: "exact"}, CopyHi: 1}, http.StatusNotFound},
+		{"missing algorithm", ShardRequest{EstimateRequest: EstimateRequest{Graph: "k6"}, CopyHi: 1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, _, body := postShard(t, ts.URL, tc.req); code != tc.want {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, code, tc.want, body)
+		}
+	}
+
+	// Method and drain handling match the JSON endpoints.
+	resp, err := http.Get(ts.URL + "/v1/shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+	srv.SetDraining(true)
+	if code, _, _ := postShard(t, ts.URL, ShardRequest{EstimateRequest: ok, CopyHi: 1}); code != http.StatusServiceUnavailable {
+		t.Errorf("draining status = %d, want 503", code)
+	}
+}
+
+// TestDeriveEstimate pins the distinguish→estimate derivation the proxy
+// ships to shard replicas to DistinguishContext's documented rules.
+func TestDeriveEstimate(t *testing.T) {
+	base := EstimateRequest{Graph: "g", Copies: 3}
+	cases := []struct {
+		cycleLen  int
+		algo      string
+		prob      float64
+		derivedCL int
+	}{
+		{0, string(adjstream.AlgoNaiveTwoPass), 0.25, 0},
+		{3, string(adjstream.AlgoNaiveTwoPass), 0.25, 0},
+		{4, string(adjstream.AlgoTwoPassFourCycle), 0.25, 0},
+		{5, string(adjstream.AlgoExact), 0, 5},
+		{7, string(adjstream.AlgoExact), 0, 7},
+	}
+	for _, tc := range cases {
+		req := base
+		req.CycleLen = tc.cycleLen
+		got := DeriveEstimate("distinguish", req)
+		if got.Algorithm != tc.algo || got.SampleProb != tc.prob || got.CycleLen != tc.derivedCL {
+			t.Errorf("cycleLen %d: derived (algo %q, prob %g, len %d), want (%q, %g, %d)",
+				tc.cycleLen, got.Algorithm, got.SampleProb, got.CycleLen, tc.algo, tc.prob, tc.derivedCL)
+		}
+		if got.Copies != base.Copies || got.Graph != base.Graph {
+			t.Errorf("cycleLen %d: derivation disturbed unrelated fields: %+v", tc.cycleLen, got)
+		}
+	}
+	// An explicit budget survives derivation for the sublinear cases.
+	req := base
+	req.SampleSize = 40
+	if got := DeriveEstimate("distinguish", req); got.SampleSize != 40 || got.SampleProb != 0 {
+		t.Errorf("explicit budget overwritten: %+v", got)
+	}
+	// Estimate requests pass through untouched.
+	est := EstimateRequest{Graph: "g", Algorithm: "exact", CycleLen: 6}
+	if got := DeriveEstimate("estimate", est); got != est {
+		t.Errorf("estimate derivation changed the request: %+v", got)
+	}
+}

@@ -11,8 +11,8 @@ import (
 // request (one atomic load, plus registry lookups only when enabled) and
 // every update is a nil-check no-op when telemetry is disabled.
 //
-// Metric names, per endpoint ("estimate", "distinguish", "graphs",
-// "healthz"):
+// Metric names, per endpoint ("estimate", "distinguish", "batch", "shard",
+// "graphs", "healthz"):
 //
 //	serve.<endpoint>.requests    counter   — requests handled
 //	serve.<endpoint>.errors      counter   — non-2xx responses

@@ -1,0 +1,46 @@
+package serve
+
+// Guards OPERATIONS.md against drift: binds every handle set this package
+// registers and asserts the operator guide names each resulting metric.
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"adjstream/internal/telemetry"
+)
+
+// endpointNames is the full endpoint list Handler registers metrics for.
+var endpointNames = []string{"estimate", "distinguish", "batch", "shard", "graphs", "healthz"}
+
+func TestOperationsDocCoversServeMetrics(t *testing.T) {
+	doc, err := os.ReadFile("../../OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("read OPERATIONS.md: %v", err)
+	}
+	telemetry.Disable()
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	for _, ep := range endpointNames {
+		teleForEndpoint(ep)
+	}
+	teleForPool()
+	teleForCache().occupancy(0, 0)
+
+	// The guide documents per-endpoint metrics once with an <endpoint>
+	// placeholder and numbered series with NN.
+	endpointRe := regexp.MustCompile(`^serve\.(estimate|distinguish|batch|shard|graphs|healthz)\.`)
+	digitsRe := regexp.MustCompile(`\.[0-9]+\.`)
+	names := reg.Names()
+	if len(names) == 0 {
+		t.Fatal("no metrics registered")
+	}
+	for _, name := range names {
+		normalized := endpointRe.ReplaceAllString(name, "serve.<endpoint>.")
+		normalized = digitsRe.ReplaceAllString(normalized, ".NN.")
+		if !regexp.MustCompile("`" + regexp.QuoteMeta(normalized) + "`").Match(doc) {
+			t.Errorf("metric %s (documented form `%s`) is missing from OPERATIONS.md", name, normalized)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package adjstream
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -112,69 +111,21 @@ func SnapshotAlgorithm(snap CopySnapshot) (Algorithm, error) {
 	return Algorithm(cs.Algo), nil
 }
 
-// snapshotMagic identifies a snapshot-set file ("adjM" for merge).
-const snapshotMagic = "adjM"
-
-// snapshotFileVersion is the snapshot-set file-format version.
-const snapshotFileVersion = 1
-
 // WriteSnapshotSet writes a snapshot-set to w: the "adjM" magic, a uint32
 // version, a uint32 record count, then one record per snapshot — uint32
 // global copy index (lo, lo+1, …), uint32 payload length, payload bytes —
 // all little-endian. The index records which copies of the full run the
-// shard covered, letting the merge verify disjoint full coverage.
+// shard covered, letting the merge verify disjoint full coverage. The same
+// framing carries shard results over HTTP in cluster mode (see
+// internal/cluster and stream.SnapshotSetContentType).
 func WriteSnapshotSet(w io.Writer, lo int, snaps []CopySnapshot) error {
-	if lo < 0 {
-		return fmt.Errorf("adjstream: negative snapshot base index %d", lo)
-	}
-	hdr := make([]byte, 0, 12)
-	hdr = append(hdr, snapshotMagic...)
-	hdr = binary.LittleEndian.AppendUint32(hdr, snapshotFileVersion)
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(snaps)))
-	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("adjstream: %w", err)
-	}
-	for i, snap := range snaps {
-		rec := make([]byte, 0, 8+len(snap))
-		rec = binary.LittleEndian.AppendUint32(rec, uint32(lo+i))
-		rec = binary.LittleEndian.AppendUint32(rec, uint32(len(snap)))
-		rec = append(rec, snap...)
-		if _, err := w.Write(rec); err != nil {
-			return fmt.Errorf("adjstream: %w", err)
-		}
-	}
-	return nil
+	return stream.WriteSnapshotSet(w, lo, snaps)
 }
 
 // ReadSnapshotSet reads a snapshot-set written by WriteSnapshotSet,
 // returning each record's global copy index and payload.
 func ReadSnapshotSet(r io.Reader) (indices []int, snaps []CopySnapshot, err error) {
-	hdr := make([]byte, 12)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, nil, fmt.Errorf("adjstream: snapshot set header: %w", err)
-	}
-	if string(hdr[:4]) != snapshotMagic {
-		return nil, nil, fmt.Errorf("adjstream: not a snapshot set (magic %q)", hdr[:4])
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != snapshotFileVersion {
-		return nil, nil, fmt.Errorf("adjstream: snapshot set version %d, want %d", v, snapshotFileVersion)
-	}
-	n := binary.LittleEndian.Uint32(hdr[8:])
-	indices = make([]int, 0, n)
-	snaps = make([]CopySnapshot, 0, n)
-	var rec [8]byte
-	for i := uint32(0); i < n; i++ {
-		if _, err := io.ReadFull(r, rec[:]); err != nil {
-			return nil, nil, fmt.Errorf("adjstream: snapshot record %d: %w", i, err)
-		}
-		payload := make([]byte, binary.LittleEndian.Uint32(rec[4:]))
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil, nil, fmt.Errorf("adjstream: snapshot record %d: %w", i, err)
-		}
-		indices = append(indices, int(binary.LittleEndian.Uint32(rec[:])))
-		snaps = append(snaps, payload)
-	}
-	return indices, snaps, nil
+	return stream.ReadSnapshotSet(r)
 }
 
 // WriteSnapshotFile writes a snapshot-set file (see WriteSnapshotSet).
