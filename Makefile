@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-json bench-baseline bench-gate journal-smoke serve-smoke cache-smoke merge-smoke cluster-smoke cover all
+.PHONY: build test race vet bench bench-smoke bench-json bench-baseline bench-gate journal-smoke serve-smoke cache-smoke merge-smoke cluster-smoke ingest-smoke cover all
 
 all: build vet test
 
@@ -86,6 +86,17 @@ cluster-smoke:
 	$(GO) test -race -run 'TestClusterSmoke|TestProxyBatch' ./cmd/adjproxy/
 	$(GO) test -race -run 'TestCluster' .
 	$(GO) vet ./internal/cluster/ ./cmd/adjproxy/
+
+# Ingestion smoke: boot adjserved -demo with a small merge threshold,
+# stream edge batches (staging, idempotent replay, threshold merge, flush
+# merge), assert version-pinned estimates track each published version,
+# then the root concurrent-ingest equivalence tests — estimates admitted
+# during a batch flood must be byte-identical to cold-catalog runs of
+# their pinned version, single-node and through a 3-replica fleet.
+ingest-smoke:
+	$(GO) test -race -run 'TestIngestSmoke' ./cmd/adjserved/
+	$(GO) test -race -run 'TestIngestEquivalence' .
+	$(GO) vet ./internal/serve/ ./internal/graph/
 
 # Split-run smoke: one 32-copy estimation split into four 8-copy shard
 # processes, each writing a snapshot set, merged back with adjmerge and

@@ -56,6 +56,9 @@ type (
 	Graph = graph.Graph
 	// Builder accumulates edges into a Graph.
 	Builder = graph.Builder
+	// Delta stages edge additions/removals against an immutable Graph and
+	// merges them copy-on-write into a new Graph (live ingestion).
+	Delta = graph.Delta
 	// Stream is a validated adjacency-list stream.
 	Stream = stream.Stream
 	// Item is one stream element (owner, neighbor).
@@ -74,6 +77,11 @@ func NewBuilder() *Builder { return graph.NewBuilder() }
 // FromEdges builds a graph from an edge list, rejecting self-loops and
 // duplicates.
 func FromEdges(edges []Edge) (*Graph, error) { return graph.FromEdges(edges) }
+
+// NewDelta returns an empty mutation buffer staged against base; Apply
+// merges it into a new immutable Graph sharing untouched adjacency lists
+// with base (copy-on-write).
+func NewDelta(base *Graph) *Delta { return graph.NewDelta(base) }
 
 // SortedStream returns the canonical deterministic stream of g (lists in
 // ascending vertex order, sorted neighbors).

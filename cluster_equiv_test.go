@@ -222,7 +222,21 @@ func TestClusterLocalFallback(t *testing.T) {
 	if gotStatus != wantStatus || got != want {
 		t.Errorf("fallback: proxied (%d) %s != single (%d) %s", gotStatus, got, wantStatus, want)
 	}
-	if status, errBody := ask(t, strict.URL, "/v1/estimate", body); status != http.StatusServiceUnavailable {
+	status, errBody := ask(t, strict.URL, "/v1/estimate", body)
+	if status != http.StatusServiceUnavailable {
 		t.Errorf("no-fallback outage: status %d (%s), want 503", status, errBody)
+	}
+	// The failure wears the uniform error envelope.
+	var er struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(errBody), &er); err != nil {
+		t.Fatalf("decode error envelope %q: %v", errBody, err)
+	}
+	if er.Error.Code != "remote_unavailable" || er.Error.Message == "" {
+		t.Errorf("error envelope = %+v, want code remote_unavailable with a message", er.Error)
 	}
 }

@@ -15,11 +15,20 @@
 // same names, same content — or shard results will not merge into the
 // single-node answer. The API surface is identical to adjserved's:
 //
-//	POST /v1/estimate        sharded across the fleet
-//	POST /v1/distinguish     derived estimator sharded, decision recovered
-//	POST /v1/estimate/batch  items scheduled individually
-//	GET  /v1/graphs          the proxy's catalog listing
-//	GET  /healthz            readiness (503 while draining)
+//	POST /v1/estimate              sharded across the fleet
+//	POST /v1/distinguish           derived estimator sharded, decision recovered
+//	POST /v1/estimate/batch        items scheduled individually
+//	GET  /v1/graphs                the proxy's catalog listing
+//	GET  /v1/graphs/{name}         the proxy's dataset detail
+//	POST /v1/graphs/{name}/edges   applied locally, then forwarded to every replica
+//	GET  /healthz                  readiness (503 while draining)
+//
+// Edge batches apply to the proxy's own catalog first and are then
+// forwarded byte-identically to every replica; with matching
+// -merge-threshold and -max-versions across the fleet, all nodes advance
+// through the same version history, and each sharded estimate pins its
+// graph version in the shard spec so replicas run the exact snapshot the
+// proxy keyed the result by.
 //
 // When a shard cannot be completed anywhere — replicas down, retries
 // exhausted — the proxy degrades to local single-node execution unless
@@ -89,6 +98,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheEntries := fs.Int("cache-entries", 4096, "max cached results across all shards")
 	cacheTTL := fs.Duration("cache-ttl", 0, "expire cached results after this age (0 = only LRU eviction)")
 	noCache := fs.Bool("no-cache", false, "disable the result cache and request coalescing")
+	mergeThreshold := fs.Int("merge-threshold", serve.DefaultMergeThreshold, "pending ingested edge ops that force a merge into a new graph version (match the replicas')")
+	maxVersions := fs.Int("max-versions", serve.DefaultMaxVersions, "published graph versions retained for version-pinned shard requests (match the replicas')")
 	teleAddr := fs.String("telemetry", "", "also serve /debug/vars and /debug/pprof on this address, and dump a metrics snapshot on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -117,6 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cat := serve.NewCatalog()
+	cat.SetMergePolicy(*mergeThreshold, *maxVersions)
 	if *demo {
 		if err := serve.LoadDemo(cat); err != nil {
 			fmt.Fprintln(stderr, "adjproxy:", err)
@@ -174,6 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CacheTTL:        *cacheTTL,
 		Remote:          sched.Run,
 		NoLocalFallback: *noFallback,
+		RemoteIngest:    sched.Mutate,
 	})
 	hs := &http.Server{Handler: srv.Handler()}
 

@@ -216,10 +216,12 @@ func TestProxyBatch(t *testing.T) {
 	defer resp.Body.Close()
 	var batch struct {
 		Results []struct {
-			Status int                    `json:"status"`
-			Result map[string]any         `json:"result"`
-			Error  string                 `json:"error"`
-			Extra  map[string]interface{} `json:"-"`
+			Status int            `json:"status"`
+			Result map[string]any `json:"result"`
+			Error  *struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
 		} `json:"results"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
@@ -231,8 +233,8 @@ func TestProxyBatch(t *testing.T) {
 	if batch.Results[0].Status != http.StatusOK || batch.Results[0].Result["estimate"] != float64(64) {
 		t.Errorf("item 0 = %+v, want 64 triangles", batch.Results[0])
 	}
-	if batch.Results[1].Status != http.StatusNotFound {
-		t.Errorf("item 1 status = %d, want 404", batch.Results[1].Status)
+	if r := batch.Results[1]; r.Status != http.StatusNotFound || r.Error == nil || r.Error.Code != "unknown_graph" {
+		t.Errorf("item 1 = %+v, want 404 with unknown_graph envelope", r)
 	}
 	if batch.Results[2].Status != http.StatusOK {
 		t.Errorf("item 2 = %+v, want 200", batch.Results[2])

@@ -9,11 +9,18 @@
 //
 // API:
 //
-//	POST /v1/estimate        {"graph":"...","algorithm":"exact", ...}
-//	POST /v1/distinguish     {"graph":"...","cycle_len":3, ...}
-//	POST /v1/estimate/batch  {"requests":[{...},{...}]}
-//	GET  /v1/graphs          catalog listing
-//	GET  /healthz            readiness (503 while draining)
+//	POST /v1/estimate              {"graph":"...","algorithm":"exact", ...}
+//	POST /v1/distinguish           {"graph":"...","cycle_len":3, ...}
+//	POST /v1/estimate/batch        {"requests":[{...},{...}]}
+//	GET  /v1/graphs                catalog listing
+//	GET  /v1/graphs/{name}         dataset detail (fingerprint, version, degrees)
+//	POST /v1/graphs/{name}/edges   live edge ingestion (batched, idempotent)
+//	GET  /healthz                  readiness (503 while draining)
+//
+// Graphs mutate through edge batches: ops stage into a delta and merge
+// into a new immutable graph version either every -merge-threshold ops or
+// on a batch's "flush" flag; every estimate pins one version end-to-end
+// and echoes it as graph_version/graph_fingerprint.
 //
 // Results are deterministic in (graph, algorithm, options, seed), so the
 // server caches them: repeat requests are answered from a sharded LRU
@@ -76,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheEntries := fs.Int("cache-entries", 4096, "max cached results across all shards")
 	cacheTTL := fs.Duration("cache-ttl", 0, "expire cached results after this age (0 = only LRU eviction)")
 	noCache := fs.Bool("no-cache", false, "disable the result cache and request coalescing")
+	mergeThreshold := fs.Int("merge-threshold", serve.DefaultMergeThreshold, "pending ingested edge ops that force a merge into a new graph version")
+	maxVersions := fs.Int("max-versions", serve.DefaultMaxVersions, "published graph versions retained for version-pinned shard requests")
 	teleAddr := fs.String("telemetry", "", "also serve /debug/vars and /debug/pprof on this address, and dump a metrics snapshot on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cat := serve.NewCatalog()
+	cat.SetMergePolicy(*mergeThreshold, *maxVersions)
 	if *demo {
 		if err := serve.LoadDemo(cat); err != nil {
 			fmt.Fprintln(stderr, "adjserved:", err)

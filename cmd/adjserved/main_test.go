@@ -311,6 +311,147 @@ func TestCacheSmoke(t *testing.T) {
 	}
 }
 
+// TestIngestSmoke is the `make ingest-smoke` entry point: boot adjserved
+// with a small merge threshold, stream edge batches into a demo graph,
+// and assert staging, idempotent replay, the threshold merge, the flush
+// merge, version-pinned estimates, and the ingest telemetry counters —
+// end-to-end over TCP, through shutdown.
+func TestIngestSmoke(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	stdout, stderr := &lockedBuffer{}, &lockedBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "localhost:0", "-addr-file", addrFile,
+			"-demo", "-workers", "2", "-drain-timeout", "5s",
+			"-merge-threshold", "4", "-max-versions", "8",
+			"-telemetry", "localhost:0",
+		}, stdout, stderr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var base string
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no addr file; stderr: %s", stderr)
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("server exited early with code %d; stderr: %s", code, stderr)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	ingest := func(body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/graphs/triangles64/edges", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST edges: %v", err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest status %d: %s", resp.StatusCode, raw)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("decode %s: %v", raw, err)
+		}
+		return m
+	}
+	estimate := func() (count, version float64) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/estimate", "application/json",
+			strings.NewReader(`{"graph":"triangles64","algorithm":"exact","seed":1}`))
+		if err != nil {
+			t.Fatalf("POST estimate: %v", err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := m["estimate"].(float64)
+		v, _ := m["graph_version"].(float64)
+		return c, v
+	}
+
+	// Baseline: 64 triangles at version 1.
+	if c, v := estimate(); c != 64 || v != 1 {
+		t.Fatalf("baseline estimate = %v at version %v, want 64 at 1", c, v)
+	}
+
+	// Two staged ops: below the threshold, nothing published.
+	m := ingest(`{"batch_id":"s1","add":[[500,501],[501,502]]}`)
+	if m["merged"] == true || m["pending_ops"] != float64(2) || m["graph_version"] != float64(1) {
+		t.Fatalf("stage = %v, want 2 pending at version 1", m)
+	}
+	// Replaying the same batch id changes nothing.
+	if m = ingest(`{"batch_id":"s1","add":[[500,501],[501,502]]}`); m["duplicate"] != true {
+		t.Fatalf("replay = %v, want duplicate=true", m)
+	}
+	if c, v := estimate(); c != 64 || v != 1 {
+		t.Fatalf("estimate after staging = %v at version %v, want 64 at 1 (staged ops leaked)", c, v)
+	}
+
+	// Two more ops hit -merge-threshold 4: version 2 publishes with a new
+	// triangle closing the 500-501-502 path.
+	m = ingest(`{"batch_id":"s2","add":[[502,500],[502,503]]}`)
+	if m["merged"] != true || m["graph_version"] != float64(2) {
+		t.Fatalf("threshold merge = %v, want merged at version 2", m)
+	}
+	if c, v := estimate(); c != 65 || v != 2 {
+		t.Fatalf("post-merge estimate = %v at version %v, want 65 at 2", c, v)
+	}
+
+	// A flush batch publishes immediately: removing the extra chord.
+	m = ingest(`{"batch_id":"s3","remove":[[502,503]],"flush":true}`)
+	if m["merged"] != true || m["graph_version"] != float64(3) {
+		t.Fatalf("flush merge = %v, want merged at version 3", m)
+	}
+	if c, v := estimate(); c != 65 || v != 3 {
+		t.Fatalf("post-flush estimate = %v at version %v, want 65 at 3", c, v)
+	}
+
+	// The detail resource tracks the history.
+	resp, err := http.Get(base + "/v1/graphs/triangles64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detail struct {
+		Version  uint64   `json:"version"`
+		Retained []uint64 `json:"retained_versions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if detail.Version != 3 || len(detail.Retained) != 3 {
+		t.Fatalf("detail = %+v, want version 3 retaining 3 versions", detail)
+	}
+
+	// Shutdown's final telemetry snapshot carries the ingest counters.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no shutdown after SIGTERM")
+	}
+	for _, metric := range []string{"serve.ingest.batches", "serve.ingest.duplicates", "serve.ingest.merges"} {
+		if !strings.Contains(stderr.String(), metric) {
+			t.Errorf("final snapshot missing %s; stderr: %s", metric, stderr)
+		}
+	}
+}
+
 // TestBadFlags covers the usage-error exits.
 func TestBadFlags(t *testing.T) {
 	var out bytes.Buffer

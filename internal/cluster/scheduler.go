@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"adjstream"
@@ -204,15 +205,22 @@ func cutShards(k, n int) []shardRange {
 // return an error wrapping serve.ErrRemoteUnavailable so the server can
 // degrade to local execution; context errors propagate as themselves so
 // cancellation is never mistaken for replica failure.
-func (s *Scheduler) Run(ctx context.Context, kind string, req serve.EstimateRequest, _ *serve.Dataset) (serve.EstimateResponse, error) {
+func (s *Scheduler) Run(ctx context.Context, kind string, req serve.EstimateRequest, ds *serve.Dataset) (serve.EstimateResponse, error) {
 	start := time.Now()
 	add(s.tele.requests, 1)
 
 	// Ship the estimate-shaped spec: distinguish requests run their
 	// derived estimator on the replicas; the decision bit is recovered
-	// from the merged estimate below.
-	spec := serve.DeriveEstimate(kind, req)
-	k := copiesOf(spec)
+	// from the merged estimate below. The spec pins the proxy's snapshot
+	// version so every shard of this run — across replicas, retries, and
+	// hedges — executes against the same immutable graph even while
+	// ingestion advances the fleet.
+	base := serve.ShardRequest{EstimateRequest: serve.DeriveEstimate(kind, req)}
+	if ds != nil {
+		base.GraphVersion = ds.Version()
+		base.GraphFingerprint = fmt.Sprintf("%016x", ds.Fingerprint())
+	}
+	k := copiesOf(base.EstimateRequest)
 	prefer := s.ring.Prefer(req.Graph)
 	if len(prefer) == 0 {
 		add(s.tele.fallbackLocal, 1)
@@ -228,7 +236,7 @@ func (s *Scheduler) Run(ctx context.Context, kind string, req serve.EstimateRequ
 	results := make(chan shardResult, len(shards))
 	for i, rng := range shards {
 		go func(i int, rng shardRange) {
-			snaps, err := s.runShard(ctx, spec, rng, prefer, i)
+			snaps, err := s.runShard(ctx, base, rng, prefer, i)
 			results <- shardResult{rng, snaps, err}
 		}(i, rng)
 	}
@@ -264,18 +272,20 @@ func (s *Scheduler) Run(ctx context.Context, kind string, req serve.EstimateRequ
 	// normalized driver only for parallel multi-copy runs, and the
 	// decision bit recovered the way DistinguishContext derives it.
 	resp := serve.EstimateResponse{
-		Graph:      req.Graph,
-		Algorithm:  req.Algorithm,
-		Estimate:   res.Estimate,
-		SpaceWords: res.SpaceWords,
-		Passes:     res.Passes,
-		M:          res.M,
-		Copies:     res.Copies,
-		Seed:       req.EffectiveSeed(),
-		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Graph:            req.Graph,
+		Algorithm:        req.Algorithm,
+		Estimate:         res.Estimate,
+		SpaceWords:       res.SpaceWords,
+		Passes:           res.Passes,
+		M:                res.M,
+		Copies:           res.Copies,
+		Seed:             req.EffectiveSeed(),
+		GraphVersion:     base.GraphVersion,
+		GraphFingerprint: base.GraphFingerprint,
+		ElapsedMS:        float64(time.Since(start)) / float64(time.Millisecond),
 	}
-	if spec.Parallel && k > 1 {
-		driver := spec.Driver
+	if base.Parallel && k > 1 {
+		driver := base.Driver
 		if driver == "" {
 			driver = string(adjstream.DriverBroadcast)
 		}
@@ -291,7 +301,7 @@ func (s *Scheduler) Run(ctx context.Context, kind string, req serve.EstimateRequ
 // runShard executes one copy range, rotating through the preference order
 // with capped exponential backoff between attempts. shardIdx staggers the
 // primary so concurrent shards of one request land on different replicas.
-func (s *Scheduler) runShard(ctx context.Context, spec serve.EstimateRequest, rng shardRange, prefer []string, shardIdx int) ([]adjstream.CopySnapshot, error) {
+func (s *Scheduler) runShard(ctx context.Context, base serve.ShardRequest, rng shardRange, prefer []string, shardIdx int) ([]adjstream.CopySnapshot, error) {
 	attempts := s.cfg.Attempts
 	if attempts > len(prefer) {
 		attempts = len(prefer)
@@ -312,7 +322,7 @@ func (s *Scheduler) runShard(ctx context.Context, spec serve.EstimateRequest, rn
 		}
 		primary := prefer[(shardIdx+attempt)%len(prefer)]
 		next := prefer[(shardIdx+attempt+1)%len(prefer)]
-		snaps, err := s.attemptWithHedge(ctx, spec, rng, primary, next)
+		snaps, err := s.attemptWithHedge(ctx, base, rng, primary, next)
 		if err == nil {
 			return snaps, nil
 		}
@@ -329,9 +339,9 @@ func (s *Scheduler) runShard(ctx context.Context, spec serve.EstimateRequest, rn
 // first, duplicates it to alt; the first success wins and the loser's
 // context is canceled. With hedging disabled (or no distinct alternate) it
 // is a single post.
-func (s *Scheduler) attemptWithHedge(ctx context.Context, spec serve.EstimateRequest, rng shardRange, primary, alt string) ([]adjstream.CopySnapshot, error) {
+func (s *Scheduler) attemptWithHedge(ctx context.Context, base serve.ShardRequest, rng shardRange, primary, alt string) ([]adjstream.CopySnapshot, error) {
 	if s.cfg.HedgeAfter <= 0 || alt == primary {
-		return s.post(ctx, spec, rng, primary)
+		return s.post(ctx, base, rng, primary)
 	}
 	hedgeCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -342,7 +352,7 @@ func (s *Scheduler) attemptWithHedge(ctx context.Context, spec serve.EstimateReq
 	}
 	results := make(chan outcome, 2)
 	launch := func(replica string, hedged bool) {
-		snaps, err := s.post(hedgeCtx, spec, rng, replica)
+		snaps, err := s.post(hedgeCtx, base, rng, replica)
 		results <- outcome{snaps, err, hedged}
 	}
 	go launch(primary, false)
@@ -373,9 +383,10 @@ func (s *Scheduler) attemptWithHedge(ctx context.Context, spec serve.EstimateReq
 // post sends one POST /v1/shard and decodes the snapshot-set response,
 // verifying it covers exactly the requested range. Any failure marks the
 // replica unhealthy in the ring; a success marks it healthy.
-func (s *Scheduler) post(ctx context.Context, spec serve.EstimateRequest, rng shardRange, replica string) ([]adjstream.CopySnapshot, error) {
+func (s *Scheduler) post(ctx context.Context, base serve.ShardRequest, rng shardRange, replica string) ([]adjstream.CopySnapshot, error) {
 	add(s.tele.shardRequests, 1)
-	body, err := json.Marshal(serve.ShardRequest{EstimateRequest: spec, CopyLo: rng.lo, CopyHi: rng.hi})
+	base.CopyLo, base.CopyHi = rng.lo, rng.hi
+	body, err := json.Marshal(base)
 	if err != nil {
 		return nil, err
 	}
@@ -423,4 +434,63 @@ func (s *Scheduler) post(ctx context.Context, spec serve.EstimateRequest, rng sh
 	s.setHealthy(replica, true)
 	s.tele.observeRTT(time.Since(start))
 	return snaps, nil
+}
+
+// Mutate forwards one edge-batch body verbatim to every replica's
+// POST /v1/graphs/{graph}/edges, concurrently, and returns the first
+// failure (nil when the whole fleet accepted it). It satisfies
+// serve.Config.RemoteIngest. Bodies are forwarded byte-identically and
+// batches are idempotent by batch id, so the client retry that follows a
+// partial failure converges every replica onto the same version history
+// — replicas that already applied the batch replay their recorded
+// response, the ones that missed it apply now.
+func (s *Scheduler) Mutate(ctx context.Context, graph string, body []byte) error {
+	add(s.tele.mutateRequests, 1)
+	replicas := s.ring.Replicas()
+	errs := make(chan error, len(replicas))
+	for _, rep := range replicas {
+		go func(rep string) {
+			errs <- s.postMutation(ctx, graph, rep, body)
+		}(rep)
+	}
+	var firstErr error
+	for range replicas {
+		if err := <-errs; err != nil {
+			add(s.tele.mutateFailures, 1)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// postMutation sends one edge batch to one replica under the shard
+// timeout. Transport failures mark the replica unhealthy; HTTP-level
+// rejections (a replica refusing an op) do not — the replica is alive
+// and the divergence must surface to the operator, not hide behind the
+// health view.
+func (s *Scheduler) postMutation(ctx context.Context, graph, replica string, body []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.ShardTimeout)
+	defer cancel()
+	u := replica + "/v1/graphs/" + url.PathEscape(graph) + "/edges"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		s.setHealthy(replica, false)
+		return fmt.Errorf("%s: %w", replica, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: ingest status %d: %s", replica, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
 }

@@ -137,6 +137,23 @@ func wantIdentical(t *testing.T, got, want serve.EstimateResponse) {
 
 func seedPtr(v uint64) *uint64 { return &v }
 
+// testDataset builds the proxy-side pinned snapshot for one of newFleet's
+// graphs — same content as every replica's catalog, so version 1 and the
+// fingerprint line up fleet-wide, exactly as a real proxy's catalog does.
+func testDataset(t *testing.T, name string) *serve.Dataset {
+	t.Helper()
+	cat := serve.NewCatalog()
+	var g = gen.Complete(9)
+	if name == "tri32" {
+		g = gen.DisjointTriangles(32)
+	}
+	ds, err := cat.Add(name, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
 func TestSchedulerMatchesSingleNode(t *testing.T) {
 	fleet := newFleet(t, 3)
 	s := newScheduler(t, fleet, Config{})
@@ -148,7 +165,7 @@ func TestSchedulerMatchesSingleNode(t *testing.T) {
 		Parallel:   true,
 		Seed:       seedPtr(11),
 	}
-	got, err := s.Run(context.Background(), "estimate", req, nil)
+	got, err := s.Run(context.Background(), "estimate", req, testDataset(t, req.Graph))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +187,7 @@ func TestSchedulerDistinguish(t *testing.T) {
 	s := newScheduler(t, fleet, Config{})
 	for _, cycleLen := range []int{3, 4, 5} {
 		req := serve.EstimateRequest{Graph: "tri32", CycleLen: cycleLen, Copies: 3, Seed: seedPtr(5)}
-		got, err := s.Run(context.Background(), "distinguish", req, nil)
+		got, err := s.Run(context.Background(), "distinguish", req, testDataset(t, req.Graph))
 		if err != nil {
 			t.Fatalf("cycle_len %d: %v", cycleLen, err)
 		}
@@ -191,7 +208,7 @@ func TestSchedulerSingleCopyNoDriver(t *testing.T) {
 	fleet := newFleet(t, 3)
 	s := newScheduler(t, fleet, Config{})
 	req := serve.EstimateRequest{Graph: "k9", Algorithm: "exact", Seed: seedPtr(1)}
-	got, err := s.Run(context.Background(), "estimate", req, nil)
+	got, err := s.Run(context.Background(), "estimate", req, testDataset(t, req.Graph))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +230,7 @@ func TestSchedulerRetriesFailedShard(t *testing.T) {
 	// on an alternate and still produce the identical answer.
 	primary := byURL(t, fleet, s.Ring().Prefer("k9")[0])
 	primary.fail.Store(1)
-	got, err := s.Run(context.Background(), "estimate", req, nil)
+	got, err := s.Run(context.Background(), "estimate", req, testDataset(t, req.Graph))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +284,7 @@ func TestSchedulerHedgesSlowShard(t *testing.T) {
 	slow.delay.Store(int64(400 * time.Millisecond))
 
 	start := time.Now()
-	got, err := s.Run(context.Background(), "estimate", req, nil)
+	got, err := s.Run(context.Background(), "estimate", req, testDataset(t, req.Graph))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +327,7 @@ func TestSchedulerConfidenceCopies(t *testing.T) {
 		Graph: "k9", Algorithm: string(adjstream.AlgoTwoPassTriangle),
 		SampleProb: 0.5, Confidence: 0.9, Parallel: true, Seed: seedPtr(2),
 	}
-	got, err := s.Run(context.Background(), "estimate", req, nil)
+	got, err := s.Run(context.Background(), "estimate", req, testDataset(t, req.Graph))
 	if err != nil {
 		t.Fatal(err)
 	}

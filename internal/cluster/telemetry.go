@@ -22,21 +22,25 @@ import (
 //	cluster.hedge.wins       counter   — hedges that answered first
 //	cluster.fallback.local   counter   — runs handed back for local execution
 //	                                     (no replica could complete them)
+//	cluster.mutate.requests  counter   — edge-batch fan-outs scheduled
+//	cluster.mutate.failures  counter   — replica forwards that failed
 //	cluster.ring.replicas    gauge     — replicas currently marked healthy
 //	cluster.ring.changes     counter   — health transitions (either way)
 //	cluster.probe.failures   counter   — health probes that failed
 type schedTele struct {
-	requests      *telemetry.Counter
-	shardRequests *telemetry.Counter
-	shardRetries  *telemetry.Counter
-	shardFailures *telemetry.Counter
-	shardRTT      *telemetry.Histogram
-	hedgeLaunched *telemetry.Counter
-	hedgeWins     *telemetry.Counter
-	fallbackLocal *telemetry.Counter
-	ringReplicas  *telemetry.Gauge
-	ringChanges   *telemetry.Counter
-	probeFailures *telemetry.Counter
+	requests       *telemetry.Counter
+	shardRequests  *telemetry.Counter
+	shardRetries   *telemetry.Counter
+	shardFailures  *telemetry.Counter
+	shardRTT       *telemetry.Histogram
+	hedgeLaunched  *telemetry.Counter
+	hedgeWins      *telemetry.Counter
+	fallbackLocal  *telemetry.Counter
+	mutateRequests *telemetry.Counter
+	mutateFailures *telemetry.Counter
+	ringReplicas   *telemetry.Gauge
+	ringChanges    *telemetry.Counter
+	probeFailures  *telemetry.Counter
 }
 
 // teleForScheduler binds the handle set, or the all-nil zero value when
@@ -47,17 +51,19 @@ func teleForScheduler() schedTele {
 		return schedTele{}
 	}
 	return schedTele{
-		requests:      r.Counter("cluster.requests"),
-		shardRequests: r.Counter("cluster.shard.requests"),
-		shardRetries:  r.Counter("cluster.shard.retries"),
-		shardFailures: r.Counter("cluster.shard.failures"),
-		shardRTT:      r.Histogram("cluster.shard.rtt_ns"),
-		hedgeLaunched: r.Counter("cluster.hedge.launched"),
-		hedgeWins:     r.Counter("cluster.hedge.wins"),
-		fallbackLocal: r.Counter("cluster.fallback.local"),
-		ringReplicas:  r.Gauge("cluster.ring.replicas"),
-		ringChanges:   r.Counter("cluster.ring.changes"),
-		probeFailures: r.Counter("cluster.probe.failures"),
+		requests:       r.Counter("cluster.requests"),
+		shardRequests:  r.Counter("cluster.shard.requests"),
+		shardRetries:   r.Counter("cluster.shard.retries"),
+		shardFailures:  r.Counter("cluster.shard.failures"),
+		shardRTT:       r.Histogram("cluster.shard.rtt_ns"),
+		hedgeLaunched:  r.Counter("cluster.hedge.launched"),
+		hedgeWins:      r.Counter("cluster.hedge.wins"),
+		fallbackLocal:  r.Counter("cluster.fallback.local"),
+		mutateRequests: r.Counter("cluster.mutate.requests"),
+		mutateFailures: r.Counter("cluster.mutate.failures"),
+		ringReplicas:   r.Gauge("cluster.ring.replicas"),
+		ringChanges:    r.Counter("cluster.ring.changes"),
+		probeFailures:  r.Counter("cluster.probe.failures"),
 	}
 }
 

@@ -58,6 +58,7 @@ type cacheKey struct {
 	kind        string // "estimate" or "distinguish"
 	graph       string
 	fingerprint uint64
+	version     uint64 // graph version the run pinned (see EstimateRequest.key)
 	algorithm   string
 	sampleSize  int
 	sampleProb  float64
@@ -74,8 +75,8 @@ type cacheKey struct {
 // shardOf returns the key's shard index.
 func (k cacheKey) shardOf() int {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s\x00%s\x00%x\x00%s\x00%d\x00%g\x00%d\x00%d\x00%d\x00%g\x00%t\x00%s\x00%x\x00%s",
-		k.kind, k.graph, k.fingerprint, k.algorithm, k.sampleSize, k.sampleProb,
+	fmt.Fprintf(h, "%s\x00%s\x00%x\x00%x\x00%s\x00%d\x00%g\x00%d\x00%d\x00%d\x00%g\x00%t\x00%s\x00%x\x00%s",
+		k.kind, k.graph, k.fingerprint, k.version, k.algorithm, k.sampleSize, k.sampleProb,
 		k.pairCap, k.cycleLen, k.copies, k.confidence, k.parallel, k.driver,
 		k.seed, k.order)
 	return int(h.Sum64() % cacheShards)

@@ -36,21 +36,35 @@ type Info struct {
 	// value that keys cached results to the graph's edges rather than its
 	// catalog name.
 	Fingerprint string `json:"fingerprint"`
+	// Version is the monotonically increasing graph version; it advances
+	// whenever an ingested edge delta is merged (see MutableDataset).
+	Version uint64 `json:"version"`
 }
 
-// Dataset is one loaded graph: the graph itself plus its canonical sorted
-// stream and content fingerprint, built once at load time and shared
-// read-only across requests (streams are immutable and safe for concurrent
-// replay).
+// Dataset is one immutable version of a catalog graph: the graph itself
+// plus its canonical sorted stream, content fingerprint, and version
+// number, built once when the version is published and shared read-only
+// across requests (streams are immutable and safe for concurrent replay).
+// Every estimate pins exactly one Dataset for its whole lifetime — cache
+// key, admission, and run all read the same snapshot — so a concurrent
+// ingest merge can never shift the graph under an in-flight request.
 type Dataset struct {
-	name   string
-	g      *adjstream.Graph
-	sorted *adjstream.Stream
-	fp     uint64
+	name    string
+	g       *adjstream.Graph
+	sorted  *adjstream.Stream
+	fp      uint64
+	version uint64
 }
 
 // Name returns the catalog key.
 func (d *Dataset) Name() string { return d.name }
+
+// Version returns the dataset's graph version (1 for a freshly loaded
+// graph; +1 per merged ingest delta).
+func (d *Dataset) Version() uint64 { return d.version }
+
+// Graph returns the immutable graph behind this version.
+func (d *Dataset) Graph() *adjstream.Graph { return d.g }
 
 // Fingerprint returns the content hash of the dataset's graph: FNV-64a
 // over the vertex count, edge count, and every adjacency list in canonical
@@ -86,6 +100,18 @@ func (d *Dataset) Info() Info {
 		M:           d.g.M(),
 		Lists:       d.sorted.Lists(),
 		Fingerprint: fmt.Sprintf("%016x", d.fp),
+		Version:     d.version,
+	}
+}
+
+// newDataset builds the immutable snapshot for one graph version.
+func newDataset(name string, g *adjstream.Graph, version uint64) *Dataset {
+	return &Dataset{
+		name:    name,
+		g:       g,
+		sorted:  adjstream.SortedStream(g),
+		fp:      fingerprintGraph(g),
+		version: version,
 	}
 }
 
@@ -103,32 +129,71 @@ func (d *Dataset) Stream(order string, seed uint64) (*adjstream.Stream, error) {
 	}
 }
 
-// Catalog is a named set of datasets, loaded once and shared by all
-// requests. Adds and lookups are safe for concurrent use; in the service
-// the catalog is populated before Listen and read-only afterwards.
+// Catalog is a named set of mutable datasets. The set of names is fixed
+// after loading (populated before Listen), but each entry can advance
+// through graph versions via live ingestion; Get always returns the
+// current immutable snapshot. Adds and lookups are safe for concurrent
+// use.
 type Catalog struct {
 	mu     sync.RWMutex
-	byName map[string]*Dataset
+	byName map[string]*MutableDataset
+
+	// Merge policy stamped onto datasets at Add time; set it with
+	// SetMergePolicy before loading graphs.
+	mergeThreshold int
+	maxVersions    int
 }
 
-// NewCatalog returns an empty catalog.
+// NewCatalog returns an empty catalog with the default merge policy.
 func NewCatalog() *Catalog {
-	return &Catalog{byName: make(map[string]*Dataset)}
+	return &Catalog{
+		byName:         make(map[string]*MutableDataset),
+		mergeThreshold: DefaultMergeThreshold,
+		maxVersions:    DefaultMaxVersions,
+	}
 }
 
-// Add registers g under name, building the cached sorted stream.
+// SetMergePolicy configures how datasets added afterwards fold ingested
+// deltas: a merge is forced once threshold net edge ops are pending, and
+// at most maxVersions published snapshots are retained for version-pinned
+// shard requests. Call it before loading graphs; values < 1 keep the
+// current setting.
+func (c *Catalog) SetMergePolicy(threshold, maxVersions int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if threshold >= 1 {
+		c.mergeThreshold = threshold
+	}
+	if maxVersions >= 1 {
+		c.maxVersions = maxVersions
+	}
+}
+
+// Add registers g under name at version 1, building the cached sorted
+// stream.
 func (c *Catalog) Add(name string, g *adjstream.Graph) (*Dataset, error) {
+	return c.AddAt(name, g, 1)
+}
+
+// AddAt registers g under name at an explicit starting version. It exists
+// so a catalog can be reconstructed with version numbers matching another
+// node's history (equivalence tests cold-load a graph at version V and
+// compare byte-for-byte against estimates pinned to V).
+func (c *Catalog) AddAt(name string, g *adjstream.Graph, version uint64) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: empty dataset name")
 	}
-	d := &Dataset{name: name, g: g, sorted: adjstream.SortedStream(g), fp: fingerprintGraph(g)}
+	if version == 0 {
+		return nil, fmt.Errorf("serve: graph versions start at 1")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.byName[name]; dup {
 		return nil, fmt.Errorf("%w %q", ErrDuplicateGraph, name)
 	}
-	c.byName[name] = d
-	return d, nil
+	md := newMutableDataset(name, g, version, c.mergeThreshold, c.maxVersions)
+	c.byName[name] = md
+	return md.Current(), nil
 }
 
 // LoadFile reads an edge-list file and registers it under name.
@@ -163,12 +228,26 @@ func (c *Catalog) LoadDir(dir string) (int, error) {
 	return len(paths), nil
 }
 
-// Get looks up a dataset; ok is false for unknown names.
+// Get looks up a dataset and returns its current immutable snapshot; ok
+// is false for unknown names. Callers pin the returned *Dataset for the
+// whole request, so later merges never shift the graph under them.
 func (c *Catalog) Get(name string) (d *Dataset, ok bool) {
 	c.mu.RLock()
+	md, ok := c.byName[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return md.Current(), true
+}
+
+// GetMutable looks up the mutable dataset behind a name; ok is false for
+// unknown names.
+func (c *Catalog) GetMutable(name string) (md *MutableDataset, ok bool) {
+	c.mu.RLock()
 	defer c.mu.RUnlock()
-	d, ok = c.byName[name]
-	return d, ok
+	md, ok = c.byName[name]
+	return md, ok
 }
 
 // Len returns the number of datasets.
@@ -183,8 +262,8 @@ func (c *Catalog) Infos() []Info {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make([]Info, 0, len(c.byName))
-	for _, d := range c.byName {
-		out = append(out, d.Info())
+	for _, md := range c.byName {
+		out = append(out, md.Current().Info())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

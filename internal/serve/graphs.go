@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// GraphDetail is the body of GET /v1/graphs/{name}: the dataset's Info
+// (fingerprint and version included) plus ingestion state and degree
+// statistics of the current snapshot.
+type GraphDetail struct {
+	Info
+	// PendingOps counts staged edge operations not yet merged into a
+	// published version.
+	PendingOps int `json:"pending_ops"`
+	// RetainedVersions lists the published versions still resolvable by
+	// version-pinned shard requests, oldest first.
+	RetainedVersions []uint64 `json:"retained_versions"`
+	// Degrees summarizes the current snapshot's degree sequence.
+	Degrees DegreeStats `json:"degrees"`
+}
+
+// DegreeStats summarizes a graph's degree sequence.
+type DegreeStats struct {
+	Max int `json:"max"`
+	// Avg is 2m/n (0 for the empty graph).
+	Avg float64 `json:"avg"`
+	// Wedges is the exact path-of-length-2 count Σ C(d(v),2), the
+	// normalization the paper's wedge samplers depend on.
+	Wedges int64 `json:"wedges"`
+}
+
+// handleGraphsResource dispatches the graphs REST resource:
+//
+//	GET  /v1/graphs              → catalog listing
+//	GET  /v1/graphs/{name}       → dataset detail
+//	POST /v1/graphs/{name}/edges → edge-batch ingestion
+//
+// Wrong methods get 405 with an Allow header; unknown names and deeper
+// paths get the 404 envelope.
+func (s *Server) handleGraphsResource(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/graphs")
+	rest = strings.TrimPrefix(rest, "/")
+	if rest == "" {
+		s.handleGraphList(w, r)
+		return
+	}
+	name, sub, _ := strings.Cut(rest, "/")
+	switch sub {
+	case "":
+		s.handleGraphDetail(w, r, name)
+	case "edges":
+		s.handleIngest(w, r, name)
+	default:
+		tt := teleForEndpoint("graphs")
+		start := tt.start()
+		status := s.writeError(w, fmt.Errorf("%w: no resource %q under graph %q", ErrUnknownGraph, sub, name))
+		tt.end(start, status)
+	}
+}
+
+// handleGraphList serves GET /v1/graphs.
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	tt := teleForEndpoint("graphs")
+	start := tt.start()
+	status := http.StatusOK
+	defer func() { tt.end(start, status) }()
+	if r.Method != http.MethodGet {
+		status = writeMethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, GraphsResponse{Graphs: s.cat.Infos()})
+}
+
+// handleGraphDetail serves GET /v1/graphs/{name}.
+func (s *Server) handleGraphDetail(w http.ResponseWriter, r *http.Request, name string) {
+	tt := teleForEndpoint("graphs")
+	start := tt.start()
+	status := http.StatusOK
+	defer func() { tt.end(start, status) }()
+	if r.Method != http.MethodGet {
+		status = writeMethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	md, ok := s.cat.GetMutable(name)
+	if !ok {
+		status = s.writeError(w, fmt.Errorf("%w %q", ErrUnknownGraph, name))
+		return
+	}
+	ds := md.Current()
+	g := ds.Graph()
+	d := GraphDetail{
+		Info:             ds.Info(),
+		PendingOps:       md.PendingOps(),
+		RetainedVersions: md.RetainedVersions(),
+		Degrees: DegreeStats{
+			Max:    g.MaxDegree(),
+			Wedges: g.WedgeCount(),
+		},
+	}
+	if n := g.N(); n > 0 {
+		d.Degrees.Avg = 2 * float64(g.M()) / float64(n)
+	}
+	writeJSON(w, http.StatusOK, d)
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"adjstream"
+)
+
+// maxIngestBody bounds one edge-batch body; larger batches are rejected
+// with 400 rather than staged into an unbounded delta in one shot.
+const maxIngestBody = 8 << 20
+
+// maxIngestOps bounds the operations in one batch for the same reason.
+const maxIngestOps = 65536
+
+// handleIngest serves POST /v1/graphs/{name}/edges: one atomic,
+// idempotent edge batch. The raw body is retained so cluster mode can
+// forward it verbatim to the rest of the fleet — every replica decodes
+// the identical bytes, keeping versions in lockstep.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, name string) {
+	tt := teleForEndpoint("ingest")
+	start := tt.start()
+	status := http.StatusOK
+	defer func() { tt.end(start, status) }()
+
+	if r.Method != http.MethodPost {
+		status = writeMethodNotAllowed(w, http.MethodPost)
+		return
+	}
+	if s.draining.Load() {
+		status = s.writeError(w, ErrDraining)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxIngestBody+1))
+	if err != nil {
+		status = s.writeError(w, fmt.Errorf("%w: reading body: %v", adjstream.ErrInvalidOptions, err))
+		return
+	}
+	if len(body) > maxIngestBody {
+		status = s.writeError(w, fmt.Errorf("%w: edge batch exceeds %d bytes", adjstream.ErrInvalidOptions, maxIngestBody))
+		return
+	}
+	var req EdgeBatchRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		status = s.writeError(w, fmt.Errorf("%w: %w", adjstream.ErrInvalidOptions, err))
+		return
+	}
+	if req.BatchID == "" {
+		status = s.writeError(w, fmt.Errorf("%w: batch_id is required (idempotency key)", adjstream.ErrInvalidOptions))
+		return
+	}
+	if n := len(req.Add) + len(req.Remove); n > maxIngestOps {
+		status = s.writeError(w, fmt.Errorf("%w: batch of %d ops exceeds the %d-op limit",
+			adjstream.ErrInvalidOptions, n, maxIngestOps))
+		return
+	}
+	md, ok := s.cat.GetMutable(name)
+	if !ok {
+		status = s.writeError(w, fmt.Errorf("%w %q", ErrUnknownGraph, name))
+		return
+	}
+
+	resp, mergeDur, err := md.ApplyBatch(req)
+	if err != nil {
+		status = s.writeError(w, err)
+		return
+	}
+	teleForIngest().record(req, resp, mergeDur)
+
+	// Local apply first, then fan-out: the local catalog is the reference
+	// the fleet must mirror. Duplicates are forwarded too — a retry after
+	// a partial fan-out failure must reach the replicas that missed it
+	// (they dedupe by batch id, so converged replicas are unaffected).
+	if s.cfg.RemoteIngest != nil {
+		if err := s.cfg.RemoteIngest(r.Context(), name, body); err != nil {
+			status = s.writeError(w, fmt.Errorf("%w: ingest fan-out: %v", ErrRemoteUnavailable, err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

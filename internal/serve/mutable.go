@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adjstream"
+)
+
+// ErrInvalidEdgeOp reports an edge batch containing an operation the
+// current graph view rejects (self-loop, duplicate add, removal of an
+// absent edge). The batch is applied atomically: on error no operation
+// takes effect. The HTTP layer maps it to 400.
+var ErrInvalidEdgeOp = errors.New("serve: invalid edge operation")
+
+// ErrVersionGone reports a request pinned to a graph version this node no
+// longer retains (or never published). The HTTP layer maps it to 409; the
+// cluster scheduler treats it as a replica failure and falls back to the
+// proxy's own pinned snapshot.
+var ErrVersionGone = errors.New("serve: graph version unavailable")
+
+const (
+	// DefaultMergeThreshold is the number of pending edge operations that
+	// forces a delta merge into a new published version.
+	DefaultMergeThreshold = 1024
+	// DefaultMaxVersions is the number of published snapshots retained
+	// for version-pinned requests.
+	DefaultMaxVersions = 4
+	// maxRememberedBatches bounds the idempotency memory: responses for
+	// this many recent batch ids are replayed verbatim on duplicates.
+	maxRememberedBatches = 4096
+)
+
+// EdgeBatchRequest is the body of POST /v1/graphs/{name}/edges: a batch of
+// edge additions and removals applied atomically. BatchID makes delivery
+// idempotent — resubmitting a batch id that was already applied returns
+// the recorded response with duplicate=true and changes nothing, so
+// at-least-once clients converge. Flush forces the pending delta to merge
+// into a new published version regardless of the merge threshold.
+type EdgeBatchRequest struct {
+	BatchID string     `json:"batch_id"`
+	Add     [][2]int64 `json:"add,omitempty"`
+	Remove  [][2]int64 `json:"remove,omitempty"`
+	Flush   bool       `json:"flush,omitempty"`
+}
+
+// EdgeBatchResponse reports the outcome of one edge batch. GraphVersion
+// and GraphFingerprint describe the published snapshot after the batch:
+// if Merged is true the batch's ops are part of that version, otherwise
+// they sit in the pending delta (PendingOps deep) awaiting a merge.
+type EdgeBatchResponse struct {
+	Graph            string `json:"graph"`
+	BatchID          string `json:"batch_id"`
+	Applied          int    `json:"applied"`
+	Duplicate        bool   `json:"duplicate,omitempty"`
+	Merged           bool   `json:"merged,omitempty"`
+	PendingOps       int    `json:"pending_ops"`
+	GraphVersion     uint64 `json:"graph_version"`
+	GraphFingerprint string `json:"graph_fingerprint"`
+}
+
+// MutableDataset is one catalog entry that can evolve through live
+// ingestion. Reads are lock-free: Current returns the latest published
+// immutable *Dataset from an atomic pointer, and every request pins that
+// one snapshot end-to-end. Writes serialize under mu: edge batches stage
+// into a copy-on-write delta (adjstream.Delta) and periodically merge into
+// a new snapshot with version+1 and a recomputed content fingerprint, so
+// the response cache — keyed by (fingerprint, version) — can never serve
+// a result across a version bump. A bounded ring of recent snapshots is
+// retained so version-pinned shard requests keep working across merges.
+type MutableDataset struct {
+	name string
+	cur  atomic.Pointer[Dataset]
+
+	mu         sync.Mutex
+	pending    *adjstream.Delta // staged ops against cur; nil when none
+	pendingOps int              // ops accepted since the last merge
+	retained   []*Dataset       // published versions, oldest first
+	seen       map[string]*EdgeBatchResponse
+	seenOrder  []string // FIFO over seen, bounding idempotency memory
+
+	mergeThreshold int
+	maxVersions    int
+}
+
+// newMutableDataset publishes g as the entry's first snapshot at version.
+func newMutableDataset(name string, g *adjstream.Graph, version uint64, mergeThreshold, maxVersions int) *MutableDataset {
+	ds := newDataset(name, g, version)
+	md := &MutableDataset{
+		name:           name,
+		retained:       []*Dataset{ds},
+		seen:           make(map[string]*EdgeBatchResponse),
+		mergeThreshold: mergeThreshold,
+		maxVersions:    maxVersions,
+	}
+	md.cur.Store(ds)
+	return md
+}
+
+// Current returns the latest published snapshot. It never blocks on
+// writers.
+func (m *MutableDataset) Current() *Dataset { return m.cur.Load() }
+
+// PendingOps returns the number of staged ops not yet merged.
+func (m *MutableDataset) PendingOps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pendingOps
+}
+
+// RetainedVersions lists the published versions still resolvable by At,
+// oldest first.
+func (m *MutableDataset) RetainedVersions() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, len(m.retained))
+	for i, d := range m.retained {
+		out[i] = d.version
+	}
+	return out
+}
+
+// At resolves a pinned version among the retained snapshots. A nonzero fp
+// must match the snapshot's content fingerprint — a mismatch means the
+// caller's history diverged from ours and running would silently compare
+// different graphs.
+func (m *MutableDataset) At(version uint64, fp uint64) (*Dataset, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.retained {
+		if d.version == version {
+			if fp != 0 && d.fp != fp {
+				return nil, fmt.Errorf("%w: version %d of %q has fingerprint %016x, request pinned %016x",
+					ErrVersionGone, version, m.name, d.fp, fp)
+			}
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: version %d of %q (retained: %d..%d)",
+		ErrVersionGone, version, m.name, m.retained[0].version, m.retained[len(m.retained)-1].version)
+}
+
+// ApplyBatch applies one edge batch atomically: either every op is staged
+// (and possibly merged into a new version) or none is and an
+// ErrInvalidEdgeOp describes the first offender. Duplicate batch ids
+// replay the recorded response without touching the graph. The returned
+// duration is the time spent merging (zero when no merge ran), for the
+// merge-latency histogram.
+func (m *MutableDataset) ApplyBatch(req EdgeBatchRequest) (EdgeBatchResponse, time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if prev, ok := m.seen[req.BatchID]; ok {
+		resp := *prev
+		resp.Duplicate = true
+		return resp, 0, nil
+	}
+
+	if m.pending == nil {
+		m.pending = adjstream.NewDelta(m.cur.Load().g)
+	}
+	type edgeOp struct {
+		u, v adjstream.V
+		add  bool
+	}
+	ops := make([]edgeOp, 0, len(req.Add)+len(req.Remove))
+	for _, p := range req.Add {
+		ops = append(ops, edgeOp{adjstream.V(p[0]), adjstream.V(p[1]), true})
+	}
+	for _, p := range req.Remove {
+		ops = append(ops, edgeOp{adjstream.V(p[0]), adjstream.V(p[1]), false})
+	}
+	for i, o := range ops {
+		var err error
+		if o.add {
+			err = m.pending.Add(o.u, o.v)
+		} else {
+			err = m.pending.Remove(o.u, o.v)
+		}
+		if err != nil {
+			// Batch atomicity: add/remove are exact inverses, so undoing
+			// the accepted prefix in reverse order restores the pre-batch
+			// delta.
+			for j := i - 1; j >= 0; j-- {
+				var undo error
+				if ops[j].add {
+					undo = m.pending.Remove(ops[j].u, ops[j].v)
+				} else {
+					undo = m.pending.Add(ops[j].u, ops[j].v)
+				}
+				if undo != nil {
+					panic(fmt.Sprintf("serve: edge batch rollback failed: %v", undo))
+				}
+			}
+			return EdgeBatchResponse{}, 0, fmt.Errorf("%w: batch %q op %d: %v", ErrInvalidEdgeOp, req.BatchID, i, err)
+		}
+	}
+	m.pendingOps += len(ops)
+
+	var mergeDur time.Duration
+	merged := false
+	if req.Flush || m.pendingOps >= m.mergeThreshold {
+		if m.pending.Empty() {
+			// Canceled pairs left no net change: nothing to publish.
+			m.pending, m.pendingOps = nil, 0
+		} else {
+			start := time.Now()
+			m.mergeLocked()
+			mergeDur = time.Since(start)
+			merged = true
+		}
+	}
+
+	cur := m.cur.Load()
+	resp := EdgeBatchResponse{
+		Graph:            m.name,
+		BatchID:          req.BatchID,
+		Applied:          len(ops),
+		Merged:           merged,
+		PendingOps:       m.pendingOps,
+		GraphVersion:     cur.version,
+		GraphFingerprint: fmt.Sprintf("%016x", cur.fp),
+	}
+	m.remember(req.BatchID, resp)
+	return resp, mergeDur, nil
+}
+
+// mergeLocked folds the pending delta into a new published snapshot at
+// version+1. Callers hold mu and guarantee the delta is non-empty.
+func (m *MutableDataset) mergeLocked() {
+	next := newDataset(m.name, m.pending.Apply(), m.cur.Load().version+1)
+	m.retained = append(m.retained, next)
+	if len(m.retained) > m.maxVersions {
+		m.retained = m.retained[len(m.retained)-m.maxVersions:]
+	}
+	m.cur.Store(next)
+	m.pending, m.pendingOps = nil, 0
+}
+
+// remember records a batch response for idempotent replay, evicting the
+// oldest id once the memory is full.
+func (m *MutableDataset) remember(id string, resp EdgeBatchResponse) {
+	if len(m.seenOrder) >= maxRememberedBatches {
+		delete(m.seen, m.seenOrder[0])
+		m.seenOrder = m.seenOrder[1:]
+	}
+	m.seen[id] = &resp
+	m.seenOrder = append(m.seenOrder, id)
+}

@@ -182,23 +182,24 @@ func TestGraphsEndpoint(t *testing.T) {
 func TestErrorMapping(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cases := []struct {
-		name string
-		path string
-		req  EstimateRequest
-		want int
+		name     string
+		path     string
+		req      EstimateRequest
+		want     int
+		wantCode string
 	}{
-		{"unknown graph", "/v1/estimate", EstimateRequest{Graph: "nope", Algorithm: "exact"}, http.StatusNotFound},
-		{"unknown algorithm", "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "nope"}, http.StatusBadRequest},
-		{"missing algorithm", "/v1/estimate", EstimateRequest{Graph: "k6"}, http.StatusBadRequest},
-		{"bad order", "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "exact", Order: "shuffled"}, http.StatusBadRequest},
-		{"bad cycle len", "/v1/distinguish", EstimateRequest{Graph: "k6", CycleLen: 2}, http.StatusBadRequest},
+		{"unknown graph", "/v1/estimate", EstimateRequest{Graph: "nope", Algorithm: "exact"}, http.StatusNotFound, "unknown_graph"},
+		{"unknown algorithm", "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "nope"}, http.StatusBadRequest, "unknown_algorithm"},
+		{"missing algorithm", "/v1/estimate", EstimateRequest{Graph: "k6"}, http.StatusBadRequest, "invalid_options"},
+		{"bad order", "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "exact", Order: "shuffled"}, http.StatusBadRequest, "invalid_options"},
+		{"bad cycle len", "/v1/distinguish", EstimateRequest{Graph: "k6", CycleLen: 2}, http.StatusBadRequest, "invalid_options"},
 	}
 	for _, tc := range cases {
 		var er ErrorResponse
 		if code := post(t, ts, tc.path, tc.req, &er); code != tc.want {
-			t.Errorf("%s: status = %d, want %d (error %q)", tc.name, code, tc.want, er.Error)
-		} else if er.Error == "" {
-			t.Errorf("%s: empty error body", tc.name)
+			t.Errorf("%s: status = %d, want %d (error %+v)", tc.name, code, tc.want, er.Error)
+		} else if er.Error.Code != tc.wantCode || er.Error.Message == "" {
+			t.Errorf("%s: envelope = %+v, want code %q with a message", tc.name, er.Error, tc.wantCode)
 		}
 	}
 
@@ -213,14 +214,24 @@ func TestErrorMapping(t *testing.T) {
 		t.Errorf("unknown field: status = %d, want 400", resp.StatusCode)
 	}
 
-	// Wrong method.
+	// Wrong method: 405 with an Allow header and the envelope code.
 	resp, err = http.Get(ts.URL + "/v1/estimate")
 	if err != nil {
 		t.Fatalf("GET: %v", err)
 	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode 405 body: %v", err)
+	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET estimate: status = %d, want 405", resp.StatusCode)
+	}
+	if resp.Header.Get("Allow") != http.MethodPost {
+		t.Errorf("GET estimate: Allow = %q, want POST", resp.Header.Get("Allow"))
+	}
+	if er.Error.Code != "method_not_allowed" {
+		t.Errorf("GET estimate: envelope code = %q, want method_not_allowed", er.Error.Code)
 	}
 }
 
@@ -767,11 +778,11 @@ func TestBatchEndpoint(t *testing.T) {
 	if r := resp.Results[0]; r.Status != http.StatusOK || r.Result == nil || r.Result.Estimate != 20 {
 		t.Errorf("item 0 = %+v, want 200 with 20 triangles", r)
 	}
-	if r := resp.Results[1]; r.Status != http.StatusBadRequest || r.Error == "" || r.Result != nil {
-		t.Errorf("item 1 = %+v, want 400 with error", r)
+	if r := resp.Results[1]; r.Status != http.StatusBadRequest || r.Error == nil || r.Error.Code != "unknown_algorithm" || r.Result != nil {
+		t.Errorf("item 1 = %+v, want 400 with unknown_algorithm error", r)
 	}
-	if r := resp.Results[2]; r.Status != http.StatusNotFound || r.Error == "" {
-		t.Errorf("item 2 = %+v, want 404 with error", r)
+	if r := resp.Results[2]; r.Status != http.StatusNotFound || r.Error == nil || r.Error.Code != "unknown_graph" {
+		t.Errorf("item 2 = %+v, want 404 with unknown_graph error", r)
 	}
 	if r := resp.Results[3]; r.Status != http.StatusOK || r.Result == nil || r.Result.Estimate != 0 {
 		t.Errorf("item 3 = %+v, want 200 with 0 triangles", r)

@@ -54,6 +54,12 @@ type Config struct {
 	// NoLocalFallback disables the local-execution fallback when Remote is
 	// set and unavailable; the request then fails with 503.
 	NoLocalFallback bool
+	// RemoteIngest, when set, forwards each accepted edge batch (its raw
+	// JSON body) to the rest of the fleet after the local apply — the proxy
+	// half of cluster-mode ingestion. An error surfaces to the client as
+	// 503 remote_unavailable; batches are idempotent by batch id, so the
+	// client's retry converges every replica.
+	RemoteIngest func(ctx context.Context, graph string, body []byte) error
 
 	// testHookRun, when set, runs inside the worker slot before the
 	// estimation starts — the test seam for deterministic saturation,
@@ -186,12 +192,18 @@ func (r EstimateRequest) validate(kind string) error {
 }
 
 // key builds the canonical cache identity of this request against the
-// named dataset's content fingerprint.
-func (r EstimateRequest) key(kind string, fingerprint uint64) cacheKey {
+// pinned dataset snapshot. Both the content fingerprint and the version
+// number participate: the fingerprint re-keys the cache whenever the
+// edges behind a name change, and the version keeps the echoed
+// graph_version in cached responses exact even when two versions happen
+// to share content — so the cache never serves a result across a version
+// bump, by construction.
+func (r EstimateRequest) key(kind string, ds *Dataset) cacheKey {
 	return cacheKey{
 		kind:        kind,
 		graph:       r.Graph,
-		fingerprint: fingerprint,
+		fingerprint: ds.Fingerprint(),
+		version:     ds.Version(),
 		algorithm:   r.Algorithm,
 		sampleSize:  r.SampleSize,
 		sampleProb:  r.SampleProb,
@@ -221,7 +233,12 @@ type EstimateResponse struct {
 	Copies     int     `json:"copies"`
 	Driver     string  `json:"driver,omitempty"`
 	Seed       uint64  `json:"seed"`
-	ElapsedMS  float64 `json:"elapsed_ms"`
+	// GraphVersion and GraphFingerprint identify the exact immutable
+	// snapshot this result ran against, so clients can detect when two
+	// responses compare different versions of a mutating graph.
+	GraphVersion     uint64  `json:"graph_version"`
+	GraphFingerprint string  `json:"graph_fingerprint"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
 }
 
 // BatchRequest is the body of POST /v1/estimate/batch: many estimate specs
@@ -233,10 +250,11 @@ type BatchRequest struct {
 
 // BatchItem is one element of a batch response. Exactly one of Result and
 // Error is set; Status is the HTTP status this item would have received as
-// a standalone request, so one bad spec never fails its batch.
+// a standalone request, so one bad spec never fails its batch. Error uses
+// the same {"code","message"} shape as the top-level envelope.
 type BatchItem struct {
 	Result *EstimateResponse `json:"result,omitempty"`
-	Error  string            `json:"error,omitempty"`
+	Error  *ErrorDetail      `json:"error,omitempty"`
 	Status int               `json:"status"`
 	Cache  string            `json:"cache,omitempty"`
 }
@@ -251,9 +269,18 @@ type BatchResponse struct {
 // 400 rather than pinning a worker slot for an unbounded run sequence.
 const maxBatchItems = 256
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorDetail is the machine-readable error payload: a stable code from
+// the error taxonomy plus a human-oriented message. Clients dispatch on
+// Code; Message wording is not part of the API contract.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the body of every non-2xx response: the unified
+// envelope {"error":{"code","message"}}.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
 }
 
 // GraphsResponse is the body of GET /v1/graphs.
@@ -324,7 +351,10 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/estimate/batch", s.handleBatch)
 	mux.HandleFunc("/v1/shard", s.handleShard)
-	mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	// The graphs resource dispatches on path shape and method itself (list,
+	// detail, edge ingestion) — both patterns route to the same dispatcher.
+	mux.HandleFunc("/v1/graphs", s.handleGraphsResource)
+	mux.HandleFunc("/v1/graphs/", s.handleGraphsResource)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -337,11 +367,14 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownGraph):
 		return http.StatusNotFound
+	case errors.Is(err, ErrVersionGone):
+		return http.StatusConflict
 	case errors.Is(err, ErrSaturated):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrRemoteUnavailable):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, adjstream.ErrUnknownAlgorithm),
+	case errors.Is(err, ErrInvalidEdgeOp),
+		errors.Is(err, adjstream.ErrUnknownAlgorithm),
 		errors.Is(err, adjstream.ErrInvalidOptions):
 		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
@@ -351,6 +384,42 @@ func statusOf(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// codeOf maps the same error taxonomy to the stable machine-readable
+// codes carried in the error envelope. Check order mirrors statusOf;
+// codes are finer-grained than statuses where one status covers several
+// conditions (503 splits into draining / remote_unavailable).
+func codeOf(err error) string {
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		return "unknown_graph"
+	case errors.Is(err, ErrVersionGone):
+		return "version_unavailable"
+	case errors.Is(err, ErrSaturated):
+		return "saturated"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrRemoteUnavailable):
+		return "remote_unavailable"
+	case errors.Is(err, ErrInvalidEdgeOp):
+		return "invalid_edge_op"
+	case errors.Is(err, adjstream.ErrUnknownAlgorithm):
+		return "unknown_algorithm"
+	case errors.Is(err, adjstream.ErrInvalidOptions):
+		return "invalid_options"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, context.Canceled), errors.Is(err, adjstream.ErrCanceled):
+		return "canceled"
+	default:
+		return "internal"
+	}
+}
+
+// errDetail builds the envelope payload for err.
+func errDetail(err error) *ErrorDetail {
+	return &ErrorDetail{Code: codeOf(err), Message: err.Error()}
 }
 
 // writeJSON writes v with the given status.
@@ -370,8 +439,18 @@ func (s *Server) writeError(w http.ResponseWriter, err error) int {
 		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	writeJSON(w, status, ErrorResponse{Error: *errDetail(err)})
 	return status
+}
+
+// writeMethodNotAllowed writes the 405 envelope with the Allow header.
+func writeMethodNotAllowed(w http.ResponseWriter, allow string) int {
+	w.Header().Set("Allow", allow)
+	writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: ErrorDetail{
+		Code:    "method_not_allowed",
+		Message: allow + " only",
+	}})
+	return http.StatusMethodNotAllowed
 }
 
 // handleRun is the shared estimate/distinguish path: decode, validate
@@ -386,9 +465,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, kind string) 
 	defer func() { tt.end(start, status) }()
 
 	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		status = http.StatusMethodNotAllowed
-		writeJSON(w, status, ErrorResponse{Error: "POST only"})
+		status = writeMethodNotAllowed(w, http.MethodPost)
 		return
 	}
 	if s.draining.Load() {
@@ -446,7 +523,7 @@ func (s *Server) runOne(ctx context.Context, kind string, req EstimateRequest, d
 		resp, err := s.dispatch(ctx, kind, req, ds)
 		return resp, CacheBypass, err
 	}
-	return s.cache.Do(ctx, req.key(kind, ds.Fingerprint()), s.cfg.MaxTimeout,
+	return s.cache.Do(ctx, req.key(kind, ds), s.cfg.MaxTimeout,
 		func(runCtx context.Context) (EstimateResponse, error) {
 			return s.dispatch(runCtx, kind, req, ds)
 		})
@@ -487,7 +564,13 @@ func (s *Server) run(ctx context.Context, kind string, req EstimateRequest, ds *
 	if err != nil {
 		return EstimateResponse{}, err
 	}
-	resp := EstimateResponse{Graph: req.Graph, Algorithm: req.Algorithm, Seed: req.EffectiveSeed()}
+	resp := EstimateResponse{
+		Graph:            req.Graph,
+		Algorithm:        req.Algorithm,
+		Seed:             req.EffectiveSeed(),
+		GraphVersion:     ds.Version(),
+		GraphFingerprint: fmt.Sprintf("%016x", ds.Fingerprint()),
+	}
 	var res adjstream.Result
 	switch kind {
 	case "estimate":
@@ -532,9 +615,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer func() { tt.end(start, status) }()
 
 	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		status = http.StatusMethodNotAllowed
-		writeJSON(w, status, ErrorResponse{Error: "POST only"})
+		status = writeMethodNotAllowed(w, http.MethodPost)
 		return
 	}
 	if s.draining.Load() {
@@ -566,18 +647,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var pending []int
 	for i, req := range batch.Requests {
 		if err := req.validate("estimate"); err != nil {
-			items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
+			items[i] = BatchItem{Error: errDetail(err), Status: statusOf(err)}
 			continue
 		}
 		ds, ok := s.cat.Get(req.Graph)
 		if !ok {
 			err := fmt.Errorf("%w %q", ErrUnknownGraph, req.Graph)
-			items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
+			items[i] = BatchItem{Error: errDetail(err), Status: statusOf(err)}
 			continue
 		}
 		datasets[i] = ds
 		if s.cache != nil {
-			if resp, ok := s.cache.Get(req.key("estimate", ds.Fingerprint())); ok {
+			if resp, ok := s.cache.Get(req.key("estimate", ds)); ok {
 				r := resp
 				items[i] = BatchItem{Result: &r, Status: http.StatusOK, Cache: string(CacheHit)}
 				continue
@@ -598,7 +679,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		release, err := s.pool.Acquire(ctx)
 		if err != nil {
 			for _, i := range pending {
-				items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
+				items[i] = BatchItem{Error: errDetail(err), Status: statusOf(err)}
 			}
 		} else {
 			defer release()
@@ -633,7 +714,7 @@ func (s *Server) batchRunFamilies(ctx context.Context, reqs []EstimateRequest, p
 			solo = append(solo, i)
 			continue
 		}
-		key := req.key("estimate", datasets[i].Fingerprint())
+		key := req.key("estimate", datasets[i])
 		key.copies = 0
 		if _, seen := groups[key]; !seen {
 			order = append(order, key)
@@ -671,7 +752,7 @@ func (s *Server) batchRunFamily(ctx context.Context, reqs []EstimateRequest, idx
 	base := reqs[idxs[0]]
 	fail := func(err error) {
 		for _, i := range idxs {
-			items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
+			items[i] = BatchItem{Error: errDetail(err), Status: statusOf(err)}
 		}
 	}
 	st, err := ds.Stream(base.Order, base.EffectiveSeed())
@@ -697,23 +778,25 @@ func (s *Server) batchRunFamily(ctx context.Context, reqs []EstimateRequest, idx
 	for _, i := range idxs {
 		res, err := adjstream.MergeSnapshots(snaps[:reqs[i].Copies])
 		if err != nil {
-			items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
+			items[i] = BatchItem{Error: errDetail(err), Status: statusOf(err)}
 			continue
 		}
 		resp := EstimateResponse{
-			Graph:      reqs[i].Graph,
-			Algorithm:  reqs[i].Algorithm,
-			Estimate:   res.Estimate,
-			SpaceWords: res.SpaceWords,
-			Passes:     res.Passes,
-			M:          res.M,
-			Copies:     res.Copies,
-			Driver:     string(driver),
-			Seed:       reqs[i].EffectiveSeed(),
-			ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+			Graph:            reqs[i].Graph,
+			Algorithm:        reqs[i].Algorithm,
+			Estimate:         res.Estimate,
+			SpaceWords:       res.SpaceWords,
+			Passes:           res.Passes,
+			M:                res.M,
+			Copies:           res.Copies,
+			Driver:           string(driver),
+			Seed:             reqs[i].EffectiveSeed(),
+			GraphVersion:     ds.Version(),
+			GraphFingerprint: fmt.Sprintf("%016x", ds.Fingerprint()),
+			ElapsedMS:        float64(time.Since(start)) / float64(time.Millisecond),
 		}
 		if s.cache != nil {
-			s.cache.Put(reqs[i].key("estimate", ds.Fingerprint()), resp)
+			s.cache.Put(reqs[i].key("estimate", ds), resp)
 		}
 		items[i] = BatchItem{Result: &resp, Status: http.StatusOK, Cache: string(CacheShared)}
 	}
@@ -727,11 +810,11 @@ func (s *Server) batchRun(ctx context.Context, req EstimateRequest, ds *Dataset)
 	defer cancel()
 	resp, err := s.runOrRemote(ictx, req, ds)
 	if err != nil {
-		return BatchItem{Error: err.Error(), Status: statusOf(err)}
+		return BatchItem{Error: errDetail(err), Status: statusOf(err)}
 	}
 	outcome := CacheBypass
 	if s.cache != nil {
-		s.cache.Put(req.key("estimate", ds.Fingerprint()), resp)
+		s.cache.Put(req.key("estimate", ds), resp)
 		outcome = CacheMiss
 	}
 	return BatchItem{Result: &resp, Status: http.StatusOK, Cache: string(outcome)}
@@ -749,21 +832,6 @@ func (s *Server) runOrRemote(ctx context.Context, req EstimateRequest, ds *Datas
 		}
 	}
 	return s.run(ctx, "estimate", req, ds)
-}
-
-// handleGraphs serves GET /v1/graphs.
-func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
-	tt := teleForEndpoint("graphs")
-	start := tt.start()
-	status := http.StatusOK
-	defer func() { tt.end(start, status) }()
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		status = http.StatusMethodNotAllowed
-		writeJSON(w, status, ErrorResponse{Error: "GET only"})
-		return
-	}
-	writeJSON(w, http.StatusOK, GraphsResponse{Graphs: s.cat.Infos()})
 }
 
 // handleHealthz serves GET /healthz: 200 while serving, 503 while

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"adjstream"
 	"adjstream/internal/stream"
@@ -49,6 +50,19 @@ type ShardRequest struct {
 	CopyLo int `json:"copy_lo"`
 	// CopyHi is one past the last copy index this replica runs.
 	CopyHi int `json:"copy_hi"`
+	// GraphVersion pins the graph version this shard must run against, so
+	// a sharded run stays on one immutable snapshot fleet-wide even while
+	// ingestion advances the graph. 0 means "current" (pre-versioning
+	// proxies). The replica answers 409 when it no longer retains the
+	// version; the proxy treats that as a replica failure and falls back
+	// to its own pinned snapshot.
+	GraphVersion uint64 `json:"graph_version,omitempty"`
+	// GraphFingerprint is the pinned version's content hash (16 hex
+	// digits — a string because JSON numbers lose precision past 2^53).
+	// When set, the replica verifies its retained version has identical
+	// content, catching diverged ingestion histories before they can
+	// silently merge snapshots of different graphs.
+	GraphFingerprint string `json:"graph_fingerprint,omitempty"`
 }
 
 // DeriveEstimate maps a distinguish request onto the estimate-shaped spec
@@ -94,9 +108,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	defer func() { tt.end(start, status) }()
 
 	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		status = http.StatusMethodNotAllowed
-		writeJSON(w, status, ErrorResponse{Error: "POST only"})
+		status = writeMethodNotAllowed(w, http.MethodPost)
 		return
 	}
 	if s.draining.Load() {
@@ -114,9 +126,9 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		status = s.writeError(w, err)
 		return
 	}
-	ds, ok := s.cat.Get(req.Graph)
-	if !ok {
-		status = s.writeError(w, fmt.Errorf("%w %q", ErrUnknownGraph, req.Graph))
+	ds, err := s.resolveShardDataset(req)
+	if err != nil {
+		status = s.writeError(w, err)
 		return
 	}
 
@@ -130,6 +142,31 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", stream.SnapshotSetContentType)
 	// Write failures past this point can only be connection errors.
 	_, _ = w.Write(body)
+}
+
+// resolveShardDataset resolves the snapshot a shard request runs against:
+// the current version when no pin is set, otherwise exactly the retained
+// version the request pins (fingerprint-checked when supplied).
+func (s *Server) resolveShardDataset(req ShardRequest) (*Dataset, error) {
+	md, ok := s.cat.GetMutable(req.Graph)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, req.Graph)
+	}
+	if req.GraphVersion == 0 && req.GraphFingerprint == "" {
+		return md.Current(), nil
+	}
+	if req.GraphVersion == 0 {
+		return nil, fmt.Errorf("%w: graph_fingerprint set without graph_version", adjstream.ErrInvalidOptions)
+	}
+	var fp uint64
+	if req.GraphFingerprint != "" {
+		var err error
+		fp, err = strconv.ParseUint(req.GraphFingerprint, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: graph_fingerprint %q is not 16 hex digits", adjstream.ErrInvalidOptions, req.GraphFingerprint)
+		}
+	}
+	return md.At(req.GraphVersion, fp)
 }
 
 // runShard acquires a worker slot and executes the copy range, returning

@@ -12,11 +12,20 @@ import (
 // every update is a nil-check no-op when telemetry is disabled.
 //
 // Metric names, per endpoint ("estimate", "distinguish", "batch", "shard",
-// "graphs", "healthz"):
+// "graphs", "ingest", "healthz"):
 //
 //	serve.<endpoint>.requests    counter   — requests handled
 //	serve.<endpoint>.errors      counter   — non-2xx responses
 //	serve.<endpoint>.latency_ns  histogram — wall time per request
+//
+// and for live ingestion (beyond the per-endpoint trio):
+//
+//	serve.ingest.batches           counter   — edge batches applied
+//	serve.ingest.duplicates        counter   — batches replayed by batch id
+//	serve.ingest.edges_added       counter   — edge additions accepted
+//	serve.ingest.edges_removed     counter   — edge removals accepted
+//	serve.ingest.merges            counter   — delta merges published
+//	serve.ingest.merge_latency_ns  histogram — wall time per delta merge
 //
 // and for the worker pool:
 //
@@ -73,6 +82,52 @@ func (t endpointTele) end(start time.Time, status int) {
 		t.errors.Add(1)
 	}
 	t.latency.Observe(int64(time.Since(start)))
+}
+
+// ingestTele is the live-ingestion handle set (the ingest endpoint also
+// gets the standard per-endpoint trio via teleForEndpoint).
+type ingestTele struct {
+	batches      *telemetry.Counter
+	duplicates   *telemetry.Counter
+	edgesAdded   *telemetry.Counter
+	edgesRemoved *telemetry.Counter
+	merges       *telemetry.Counter
+	mergeLatency *telemetry.Histogram
+}
+
+// teleForIngest binds the ingestion handles, or the all-nil zero value
+// when telemetry is disabled.
+func teleForIngest() ingestTele {
+	r := telemetry.Global()
+	if r == nil {
+		return ingestTele{}
+	}
+	return ingestTele{
+		batches:      r.Counter("serve.ingest.batches"),
+		duplicates:   r.Counter("serve.ingest.duplicates"),
+		edgesAdded:   r.Counter("serve.ingest.edges_added"),
+		edgesRemoved: r.Counter("serve.ingest.edges_removed"),
+		merges:       r.Counter("serve.ingest.merges"),
+		mergeLatency: r.Histogram("serve.ingest.merge_latency_ns"),
+	}
+}
+
+// record publishes the outcome of one applied batch.
+func (t ingestTele) record(req EdgeBatchRequest, resp EdgeBatchResponse, mergeDur time.Duration) {
+	if t.batches == nil {
+		return
+	}
+	t.batches.Add(1)
+	if resp.Duplicate {
+		t.duplicates.Add(1)
+		return
+	}
+	t.edgesAdded.Add(int64(len(req.Add)))
+	t.edgesRemoved.Add(int64(len(req.Remove)))
+	if resp.Merged {
+		t.merges.Add(1)
+		t.mergeLatency.Observe(int64(mergeDur))
+	}
 }
 
 // poolTele is the pool's handle set.

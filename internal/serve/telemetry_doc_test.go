@@ -12,7 +12,7 @@ import (
 )
 
 // endpointNames is the full endpoint list Handler registers metrics for.
-var endpointNames = []string{"estimate", "distinguish", "batch", "shard", "graphs", "healthz"}
+var endpointNames = []string{"estimate", "distinguish", "batch", "shard", "graphs", "ingest", "healthz"}
 
 func TestOperationsDocCoversServeMetrics(t *testing.T) {
 	doc, err := os.ReadFile("../../OPERATIONS.md")
@@ -27,17 +27,20 @@ func TestOperationsDocCoversServeMetrics(t *testing.T) {
 	}
 	teleForPool()
 	teleForCache().occupancy(0, 0)
+	teleForIngest()
 
 	// The guide documents per-endpoint metrics once with an <endpoint>
-	// placeholder and numbered series with NN.
-	endpointRe := regexp.MustCompile(`^serve\.(estimate|distinguish|batch|shard|graphs|healthz)\.`)
+	// placeholder and numbered series with NN. Only the standard
+	// requests/errors/latency_ns trio normalizes; the ingest-specific
+	// serve.ingest.{batches,merges,...} names must appear literally.
+	endpointRe := regexp.MustCompile(`^serve\.(estimate|distinguish|batch|shard|graphs|ingest|healthz)\.(requests|errors|latency_ns)$`)
 	digitsRe := regexp.MustCompile(`\.[0-9]+\.`)
 	names := reg.Names()
 	if len(names) == 0 {
 		t.Fatal("no metrics registered")
 	}
 	for _, name := range names {
-		normalized := endpointRe.ReplaceAllString(name, "serve.<endpoint>.")
+		normalized := endpointRe.ReplaceAllString(name, "serve.<endpoint>.$2")
 		normalized = digitsRe.ReplaceAllString(normalized, ".NN.")
 		if !regexp.MustCompile("`" + regexp.QuoteMeta(normalized) + "`").Match(doc) {
 			t.Errorf("metric %s (documented form `%s`) is missing from OPERATIONS.md", name, normalized)
