@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-json bench-baseline bench-gate journal-smoke serve-smoke cache-smoke merge-smoke cluster-smoke ingest-smoke cover all
+.PHONY: build test race vet bench bench-smoke bench-json bench-baseline bench-gate journal-smoke serve-smoke cache-smoke merge-smoke cluster-smoke ingest-smoke model-smoke cover all
 
 all: build vet test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/stream/... ./internal/core/... ./internal/baseline/... ./internal/graph/... ./internal/telemetry/... ./internal/serve/... ./internal/cluster/... ./cmd/adjserved/... ./cmd/adjproxy/... ./cmd/adjmerge/...
+	$(GO) test -race . ./internal/stream/... ./internal/core/... ./internal/baseline/... ./internal/arbitrary/... ./internal/sampling/... ./internal/graph/... ./internal/telemetry/... ./internal/serve/... ./internal/cluster/... ./cmd/adjserved/... ./cmd/adjproxy/... ./cmd/adjmerge/...
 
 vet:
 	$(GO) vet ./...
@@ -63,8 +63,8 @@ bench-baseline: bench-json
 
 # Key benchmarks that gate performance regressions. Sub-benchmarks of these
 # are gated too; everything else is context-only in the benchdiff table.
-BENCH_GATE_KEYS = BenchmarkBroadcastK32|BenchmarkBroadcastPushK32|BenchmarkExactKernels|BenchmarkEstimateColdVsCached
-BENCH_GATE_PKGS = ./internal/stream/ ./internal/graph/ ./internal/serve/
+BENCH_GATE_KEYS = BenchmarkBroadcastK32|BenchmarkBroadcastPushK32|BenchmarkExactKernels|BenchmarkEstimateColdVsCached|BenchmarkArbFourCycle
+BENCH_GATE_PKGS = ./internal/stream/ ./internal/graph/ ./internal/serve/ ./internal/arbitrary/
 
 # Perf regression gate: run only the key benchmarks briefly, convert to
 # JSON, and diff against the newest committed BENCH_*.json baseline.
@@ -97,6 +97,20 @@ ingest-smoke:
 	$(GO) test -race -run 'TestIngestSmoke' ./cmd/adjserved/
 	$(GO) test -race -run 'TestIngestEquivalence' .
 	$(GO) vet ./internal/serve/ ./internal/graph/
+
+# Model-axis smoke: generate an arbitrary-order stream file, estimate over
+# it from the CLI (the 3-pass 4-cycle estimator at p=1 is exact: 5 disjoint
+# C4s), then the service half — an arbitrary-model POST /v1/estimate round
+# trip with model echo and per-model cache isolation — plus the race-checked
+# model tests at the facade and serve layers.
+model-smoke:
+	@rm -rf /tmp/model-smoke && mkdir -p /tmp/model-smoke
+	$(GO) run ./cmd/genstream -kind disjoint-c4 -t 5 -seed 7 -format arbstream -out /tmp/model-smoke/g.arb
+	$(GO) run ./cmd/cyclecount -model arbitrary -algo arb-threepass-fourcycle -prob 1 /tmp/model-smoke/g.arb \
+		| tee /tmp/model-smoke/out.txt
+	grep -q 'estimate:    5.00' /tmp/model-smoke/out.txt
+	$(GO) test -race -run 'TestModelSmoke' ./cmd/adjserved/
+	$(GO) test -race -run 'TestEstimateArbitrary|TestModel' . ./internal/serve/
 
 # Split-run smoke: one 32-copy estimation split into four 8-copy shard
 # processes, each writing a snapshot set, merged back with adjmerge and

@@ -37,7 +37,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
+	"adjstream/internal/arbitrary"
 	"adjstream/internal/baseline"
 	"adjstream/internal/core"
 	"adjstream/internal/graph"
@@ -69,6 +71,13 @@ type (
 	// (stream items read, items delivered to copies, batches, peak queue
 	// depth).
 	DriverStats = stream.DriverStats
+	// ArbitraryStream is a validated arbitrary-order edge stream — the
+	// model the paper contrasts with the adjacency-list promise: every edge
+	// exactly once, adversarial order, no locality. Used with
+	// Options.Model = ModelArbitrary.
+	ArbitraryStream = arbitrary.Stream
+	// ArbitraryEstimator is a multi-pass estimator over an ArbitraryStream.
+	ArbitraryEstimator = arbitrary.Estimator
 )
 
 // NewBuilder returns an empty graph builder.
@@ -155,6 +164,58 @@ func WriteStreamFile(path string, s *Stream) error {
 	return stream.WriteFile(path, s)
 }
 
+// NewArbitraryStream derives an arbitrary-order edge stream from an
+// adjacency-list stream: each edge is emitted once, at the position of its
+// first occurrence in s. The derivation is deterministic, so the two models
+// can be A/B-compared on the same input — Estimate with
+// Options.Model = ModelArbitrary uses exactly this conversion.
+func NewArbitraryStream(s *Stream) *ArbitraryStream {
+	items := s.Items()
+	seen := make(map[Edge]bool, s.M())
+	edges := make([]Edge, 0, s.M())
+	for _, it := range items {
+		e := Edge{U: it.Owner, V: it.Nbr}.Norm()
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	as, err := arbitrary.FromEdges(edges)
+	if err != nil {
+		// A validated adjacency-list stream has no self-loops and each edge
+		// exactly twice; first-occurrence filtering cannot produce duplicates.
+		panic("adjstream: invalid edges from validated stream: " + err.Error())
+	}
+	return as
+}
+
+// ArbitraryStreamFromGraph returns g's edges in a uniformly random order
+// under seed.
+func ArbitraryStreamFromGraph(g *Graph, seed uint64) *ArbitraryStream {
+	return arbitrary.FromGraph(g, seed)
+}
+
+// ArbitraryStreamFromEdges validates (no self-loops, no duplicates in either
+// orientation) and copies an explicit edge sequence.
+func ArbitraryStreamFromEdges(edges []Edge) (*ArbitraryStream, error) {
+	s, err := arbitrary.FromEdges(edges)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+	}
+	return s, nil
+}
+
+// ReadArbitraryStream parses one "u v" edge per line (blank lines and
+// #-comments skipped) — the format genstream -format arbstream emits — and
+// returns the stream in file order.
+func ReadArbitraryStream(r io.Reader) (*ArbitraryStream, error) {
+	s, err := arbitrary.ReadEdges(r)
+	if err != nil {
+		return nil, fmt.Errorf("adjstream: %w", err)
+	}
+	return s, nil
+}
+
 // Driver selects how parallel median copies are executed over the stream.
 type Driver string
 
@@ -176,6 +237,28 @@ const (
 	// O(copies · passes · 2m) stream-item reads.
 	DriverReplay Driver = "replay"
 )
+
+// Model selects the streaming model an estimator runs in. The paper's
+// central question is what the adjacency-list promise buys over arbitrary
+// edge order; exposing the model as an option lets the two columns of that
+// comparison run through one API.
+type Model string
+
+// The available streaming models.
+const (
+	// ModelAdjacencyList is the paper's model (the default, also selected
+	// by an empty Model): every edge appears once in each endpoint's list
+	// and lists are contiguous.
+	ModelAdjacencyList Model = "adjacency-list"
+	// ModelArbitrary is the classic insertion-only model: every edge
+	// exactly once, in adversarial order, no locality promise. Estimate
+	// derives the edge order from the adjacency-list stream by first
+	// occurrence; EstimateArbitrary accepts an explicit ArbitraryStream.
+	ModelArbitrary Model = "arbitrary"
+)
+
+// Models lists every selectable streaming model.
+func Models() []Model { return []Model{ModelAdjacencyList, ModelArbitrary} }
 
 // Algorithm selects an estimator.
 type Algorithm string
@@ -209,12 +292,50 @@ const (
 	AlgoExact Algorithm = "exact"
 )
 
-// Algorithms lists every selectable algorithm.
+// The arbitrary-order algorithms (Options.Model = ModelArbitrary).
+const (
+	// AlgoArbTwoPassWedge is the const-pass arbitrary-order triangle
+	// estimator behind the Θ(m^{3/2}/T) bound: sample edges at SampleProb,
+	// form wedges in the sample, close them exactly in pass two.
+	AlgoArbTwoPassWedge Algorithm = "arb-twopass-wedge"
+	// AlgoArbBuriol is the classic one-pass Buriol et al. triangle sampler:
+	// SampleSize independent (edge, third-vertex) instances.
+	AlgoArbBuriol Algorithm = "arb-buriol"
+	// AlgoArbThreePassFourCycle is Vorotnikova's improved three-pass
+	// 4-cycle estimator (arXiv 2007.13466): wedges sampled at SampleProb²,
+	// exact co-degrees via the pair-closure passes.
+	AlgoArbThreePassFourCycle Algorithm = "arb-threepass-fourcycle"
+	// AlgoArbNearOptFourCycle is the Lüderssen–Neumann–Peng near-optimal
+	// (1±ε) three-pass 4-cycle estimator (arXiv 2604.00828): an estimation
+	// sample at SampleProb plus a √SampleProb discovery sample, combined
+	// with exact inclusion probabilities.
+	AlgoArbNearOptFourCycle Algorithm = "arb-nearopt-fourcycle"
+)
+
+// Algorithms lists every selectable adjacency-list algorithm. It predates
+// the model axis and keeps its original roster for compatibility; use
+// AlgorithmsForModel for the per-model listing.
 func Algorithms() []Algorithm {
-	return []Algorithm{
-		AlgoTwoPassTriangle, AlgoThreePassTriangle, AlgoNaiveTwoPass,
-		AlgoOnePassTriangle, AlgoWedgeSampler, AlgoTwoPassFourCycle,
-		AlgoAdaptiveTriangle, AlgoExact,
+	return AlgorithmsForModel(ModelAdjacencyList)
+}
+
+// AlgorithmsForModel lists the algorithms selectable under the given model
+// (nil for an unknown model).
+func AlgorithmsForModel(m Model) []Algorithm {
+	switch m {
+	case "", ModelAdjacencyList:
+		return []Algorithm{
+			AlgoTwoPassTriangle, AlgoThreePassTriangle, AlgoNaiveTwoPass,
+			AlgoOnePassTriangle, AlgoWedgeSampler, AlgoTwoPassFourCycle,
+			AlgoAdaptiveTriangle, AlgoExact,
+		}
+	case ModelArbitrary:
+		return []Algorithm{
+			AlgoArbTwoPassWedge, AlgoArbBuriol,
+			AlgoArbThreePassFourCycle, AlgoArbNearOptFourCycle,
+		}
+	default:
+		return nil
 	}
 }
 
@@ -222,6 +343,13 @@ func Algorithms() []Algorithm {
 type Options struct {
 	// Algorithm selects the estimator; required.
 	Algorithm Algorithm
+	// Model selects the streaming model: ModelAdjacencyList (the default,
+	// also selected by an empty Model) or ModelArbitrary. The algorithm
+	// must belong to the selected model (see AlgorithmsForModel), and
+	// Driver must be empty for arbitrary runs — the parallel drivers
+	// traverse adjacency-list streams; arbitrary copies replay the edge
+	// sequence independently.
+	Model Model
 	// SampleSize m′ selects bottom-k edge sampling (a uniform size-m′
 	// sample). Exactly one of SampleSize / SampleProb must be set for the
 	// sampling algorithms; both are ignored by AlgoExact.
@@ -363,13 +491,52 @@ func (o Options) buildCopies(c int) ([]Estimator, error) {
 	return copies, nil
 }
 
+// newArbitrary builds one arbitrary-order copy with the given seed. n is the
+// stream's vertex-universe size (the Buriol line needs it up front).
+func (o Options) newArbitrary(seed uint64, n int64) (arbitrary.Estimator, error) {
+	var (
+		e   arbitrary.Estimator
+		err error
+	)
+	switch o.Algorithm {
+	case AlgoArbBuriol:
+		if o.SampleProb != 0 {
+			return nil, fmt.Errorf("%w: %q takes SampleSize (instance count), not SampleProb", ErrInvalidOptions, o.Algorithm)
+		}
+		e, err = arbitrary.NewBuriolSampler(o.SampleSize, n, seed)
+	case AlgoArbTwoPassWedge, AlgoArbThreePassFourCycle, AlgoArbNearOptFourCycle:
+		if o.SampleSize != 0 {
+			return nil, fmt.Errorf("%w: %q takes SampleProb, not SampleSize", ErrInvalidOptions, o.Algorithm)
+		}
+		switch o.Algorithm {
+		case AlgoArbTwoPassWedge:
+			e, err = arbitrary.NewTwoPassWedge(o.SampleProb, seed)
+		case AlgoArbThreePassFourCycle:
+			e, err = arbitrary.NewThreePassFourCycle(o.SampleProb, seed)
+		default:
+			e, err = arbitrary.NewNearOptFourCycle(o.SampleProb, 0, seed)
+		}
+	default:
+		return nil, fmt.Errorf("%w %q", ErrUnknownAlgorithm, o.Algorithm)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+	}
+	return e, nil
+}
+
 // NewEstimator builds the configured estimator (with median amplification
 // when Copies/Confidence ask for it). Drive it with RunStream or the
 // internal stream driver. Errors wrap ErrUnknownAlgorithm or
-// ErrInvalidOptions.
+// ErrInvalidOptions. Arbitrary-order estimators are not stream.Estimators —
+// for Model = ModelArbitrary use Estimate/EstimateArbitrary, which drive the
+// copies themselves.
 func NewEstimator(opts Options) (Estimator, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Model == ModelArbitrary {
+		return nil, fmt.Errorf("%w: Model %q estimators run over edge streams, not adjacency-list streams; use Estimate or EstimateArbitrary", ErrInvalidOptions, opts.Model)
 	}
 	c := opts.copies()
 	if c == 1 {
@@ -573,9 +740,19 @@ func Estimate(s *Stream, opts Options) (Result, error) {
 // never fires, the result is bit-identical to Estimate's for every
 // algorithm and driver. Option errors wrap ErrUnknownAlgorithm or
 // ErrInvalidOptions.
+//
+// With Options.Model = ModelArbitrary the adjacency-list stream is first
+// converted to an arbitrary-order edge stream (each edge at its first
+// occurrence, see NewArbitraryStream) and the run proceeds as in
+// EstimateArbitraryContext: same copies/median machinery and per-copy seed
+// schedule, but no driver (Result.Driver is empty; Parallel runs the copies
+// concurrently, each replaying the edge sequence).
 func EstimateContext(ctx context.Context, s *Stream, opts Options) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
+	}
+	if opts.Model == ModelArbitrary {
+		return EstimateArbitraryContext(ctx, NewArbitraryStream(s), opts)
 	}
 	c := opts.copies()
 	if opts.Parallel && c > 1 {
@@ -623,6 +800,83 @@ func EstimateContext(ctx context.Context, s *Stream, opts Options) (Result, erro
 		Estimate:   e.Estimate(),
 		SpaceWords: e.SpaceWords(),
 		Passes:     e.Passes(),
+		M:          s.M(),
+		Copies:     c,
+	}, nil
+}
+
+// EstimateArbitrary runs an arbitrary-order estimator over an explicit edge
+// stream — the entry point when the input is a raw edge sequence rather
+// than an adjacency-list stream (cyclecount -model arbitrary, arbstream
+// files). It is the backward-compatible wrapper over
+// EstimateArbitraryContext with a context that never fires.
+func EstimateArbitrary(s *ArbitraryStream, opts Options) (Result, error) {
+	return EstimateArbitraryContext(context.Background(), s, opts)
+}
+
+// EstimateArbitraryContext builds opts.copies() independent copies of the
+// selected arbitrary-order estimator (per-copy seeds on the standard
+// schedule), replays s through each under ctx, and reports the median.
+// Options.Model may be left empty — it is taken as ModelArbitrary — but
+// ModelAdjacencyList is rejected. Parallel runs the copies concurrently,
+// each replaying the edge sequence independently; results are identical to
+// the sequential run. Result.Driver is always empty: the parallel stream
+// drivers are an adjacency-list facility. Cancellation surfaces as
+// ErrCanceled; option errors wrap ErrUnknownAlgorithm or ErrInvalidOptions.
+func EstimateArbitraryContext(ctx context.Context, s *ArbitraryStream, opts Options) (Result, error) {
+	if opts.Model != "" && opts.Model != ModelArbitrary {
+		return Result{}, fmt.Errorf("%w: EstimateArbitrary runs Model %q; got %q", ErrInvalidOptions, ModelArbitrary, opts.Model)
+	}
+	opts.Model = ModelArbitrary
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	c := opts.copies()
+	copies := make([]arbitrary.Estimator, c)
+	for i := range copies {
+		seed := opts.Seed
+		if c > 1 {
+			seed = opts.Seed + uint64(i)*0x9e37_79b9 + 1
+		}
+		e, err := opts.newArbitrary(seed, s.N())
+		if err != nil {
+			return Result{}, err
+		}
+		copies[i] = e
+	}
+	if opts.Parallel && c > 1 {
+		errs := make([]error, c)
+		var wg sync.WaitGroup
+		for i, e := range copies {
+			wg.Add(1)
+			go func(i int, e arbitrary.Estimator) {
+				defer wg.Done()
+				errs[i] = arbitrary.RunContext(ctx, s, e)
+			}(i, e)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return Result{}, canceled(err)
+			}
+		}
+	} else {
+		for _, e := range copies {
+			if err := arbitrary.RunContext(ctx, s, e); err != nil {
+				return Result{}, canceled(err)
+			}
+		}
+	}
+	ests := make([]float64, c)
+	var sp int64
+	for i, e := range copies {
+		ests[i] = e.Estimate()
+		sp += e.SpaceWords()
+	}
+	return Result{
+		Estimate:   stats.Median(ests),
+		SpaceWords: sp,
+		Passes:     copies[0].Passes(),
 		M:          s.M(),
 		Copies:     c,
 	}, nil

@@ -213,6 +213,71 @@ func (l *lockedBuffer) String() string {
 // twice, and assert the repeat was answered from the result cache — via
 // the X-Cache header, the live /debug/vars counters, and the final
 // telemetry snapshot dumped on shutdown.
+// TestModelSmoke is the `make model-smoke` service half: an arbitrary-order
+// estimate over the real binary round-trips with the model echoed, hits the
+// cache on repeat, and stays distinct from the adjacency-list entry space.
+func TestModelSmoke(t *testing.T) {
+	base, done, _, stderr := startServer(t, "-workers", "2")
+
+	const body = `{"graph":"fourcycles64","model":"arbitrary","algorithm":"arb-threepass-fourcycle","sample_prob":1,"seed":3}`
+	var bodies [2][]byte
+	var outcomes [2]string
+	for n := 0; n < 2; n++ {
+		resp, err := http.Post(base+"/v1/estimate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %d: %v", n, err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %d: status %d err %v body %s", n, resp.StatusCode, err, b)
+		}
+		bodies[n], outcomes[n] = b, resp.Header.Get("X-Cache")
+	}
+	if outcomes[0] != "miss" || outcomes[1] != "hit" {
+		t.Fatalf("X-Cache = %v, want [miss hit]", outcomes)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("cached body differs:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+	var est struct {
+		Estimate float64 `json:"estimate"`
+		Model    string  `json:"model"`
+		Passes   int     `json:"passes"`
+		Driver   string  `json:"driver"`
+	}
+	if err := json.Unmarshal(bodies[0], &est); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if est.Estimate != 64 || est.Model != "arbitrary" || est.Passes != 3 || est.Driver != "" {
+		t.Fatalf("arbitrary estimate = %+v, want 64 four-cycles over 3 passes, model echoed, no driver", est)
+	}
+
+	// An adjacency-list run of the same graph lands in its own cache entry:
+	// first request is a miss, not a cross-model hit.
+	resp, err := http.Post(base+"/v1/estimate", "application/json",
+		strings.NewReader(`{"graph":"fourcycles64","algorithm":"exact","cycle_len":4,"seed":3}`))
+	if err != nil {
+		t.Fatalf("POST AL: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("AL run: status %d X-Cache %q, want 200 miss", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no shutdown after SIGTERM")
+	}
+}
+
 func TestCacheSmoke(t *testing.T) {
 	addrFile := filepath.Join(t.TempDir(), "addr")
 	stdout, stderr := &lockedBuffer{}, &lockedBuffer{}

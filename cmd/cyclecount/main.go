@@ -7,10 +7,17 @@
 //	cyclecount -algo twopass-triangle -prob 0.05 -copies 9 graph.edges
 //	cyclecount -algo twopass-fourcycle -size 2000 -order random stream.txt
 //	cyclecount -algo exact -len 5 graph.edges
+//	cyclecount -model arbitrary -algo arb-threepass-fourcycle -prob 0.3 g.edges
 //	cyclecount -compare graph.edges      # run every algorithm side by side
 //
 // The input is an edge-list file ("u v" per line) streamed in the chosen
 // order, or — with -stream — a ready-made adjacency-list stream file.
+//
+// With -model arbitrary the run uses the arbitrary-order edge streaming
+// model (see adjstream.ModelArbitrary): an edge-list input is replayed in
+// file order (as genstream -format arbstream emits), and a -stream input is
+// converted by first edge occurrence. The -algo roster is then the arb-*
+// family (adjstream.AlgorithmsForModel).
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage or invalid options
 // (adjstream.ErrInvalidOptions / ErrUnknownAlgorithm), 3 run canceled by
@@ -90,7 +97,8 @@ func startProfiles(cpuPath, memPath string, stderr io.Writer) (func(), error) {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cyclecount", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	algo := fs.String("algo", string(adjstream.AlgoTwoPassTriangle), "algorithm: twopass-triangle, threepass-triangle, naive-twopass, onepass-triangle, wedge-sampler, twopass-fourcycle, exact")
+	algo := fs.String("algo", string(adjstream.AlgoTwoPassTriangle), "algorithm: twopass-triangle, threepass-triangle, naive-twopass, onepass-triangle, wedge-sampler, twopass-fourcycle, exact; with -model arbitrary: arb-twopass-wedge, arb-buriol, arb-threepass-fourcycle, arb-nearopt-fourcycle")
+	model := fs.String("model", string(adjstream.ModelAdjacencyList), "streaming model: adjacency-list or arbitrary (edge-list input replayed in file order)")
 	size := fs.Int("size", 0, "bottom-k edge sample size m'")
 	prob := fs.Float64("prob", 0, "per-edge sampling probability (alternative to -size)")
 	pairCap := fs.Int("paircap", 0, "candidate pair/wedge reservoir cap (0 = default)")
@@ -132,7 +140,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cyclecount: telemetry on http://%s/debug/vars (pprof under /debug/pprof/)\n", ln.Addr())
 	}
 
-	s, closeStream, err := loadStream(fs.Arg(0), *isStream, *order, *seed)
+	arbitraryModel := adjstream.Model(*model) == adjstream.ModelArbitrary
+	if arbitraryModel {
+		if *compare {
+			fmt.Fprintln(stderr, "cyclecount: -compare runs the adjacency-list roster; drop -model arbitrary")
+			return 2
+		}
+		if *snapshot != "" || *copyRange != "" {
+			fmt.Fprintln(stderr, "cyclecount: snapshots are adjacency-list only (arbitrary-order runs have no snapshot transport)")
+			return 2
+		}
+	}
+	// An edge-list input under the arbitrary model IS the stream: replay it
+	// in file order rather than routing it through an adjacency-list order.
+	arbFile := arbitraryModel && !*isStream
+	var (
+		s           *adjstream.Stream
+		as          *adjstream.ArbitraryStream
+		closeStream func() error
+	)
+	if arbFile {
+		if *order != "sorted" {
+			fmt.Fprintln(stderr, "cyclecount: -order selects an adjacency-list order; an arbitrary-model edge list is replayed in file order")
+			return 2
+		}
+		as, err = loadArbitraryStream(fs.Arg(0))
+		closeStream = func() error { return nil }
+	} else {
+		s, closeStream, err = loadStream(fs.Arg(0), *isStream, *order, *seed)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "cyclecount:", err)
 		return 1
@@ -163,6 +199,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallel:   *parallel,
 		Driver:     adjstream.Driver(*driver),
 		Seed:       *seed,
+		Model:      adjstream.Model(*model),
+	}
+	if arbitraryModel {
+		// Arbitrary-order runs have no driver; drop the flag default rather
+		// than forcing users to pass -driver "".
+		opts.Driver = ""
 	}
 
 	if *snapshot != "" {
@@ -173,12 +215,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	res, err := adjstream.EstimateContext(ctx, s, opts)
+	var res adjstream.Result
+	if arbFile {
+		res, err = adjstream.EstimateArbitraryContext(ctx, as, opts)
+	} else {
+		res, err = adjstream.EstimateContext(ctx, s, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "cyclecount:", err)
 		return exitCode(err)
 	}
 	fmt.Fprintf(stdout, "algorithm:   %s\n", *algo)
+	if *model != string(adjstream.ModelAdjacencyList) {
+		fmt.Fprintf(stdout, "model:       %s\n", *model)
+	}
 	fmt.Fprintf(stdout, "edges (m):   %d\n", res.M)
 	fmt.Fprintf(stdout, "passes:      %d\n", res.Passes)
 	fmt.Fprintf(stdout, "copies:      %d\n", res.Copies)
@@ -211,6 +261,17 @@ func loadStream(path string, isStream bool, order string, seed uint64) (*adjstre
 	default:
 		return nil, nil, fmt.Errorf("unknown order %q", order)
 	}
+}
+
+// loadArbitraryStream reads an edge-list file as an arbitrary-order stream,
+// preserving the file's edge order.
+func loadArbitraryStream(path string) (*adjstream.ArbitraryStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return adjstream.ReadArbitraryStream(f)
 }
 
 // parseCopyRange parses "lo:hi" into the half-open copy range [lo, hi).

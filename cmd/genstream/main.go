@@ -8,9 +8,15 @@
 //	genstream -kind planted -t 500 -side 100 -p 0.2 -format stream -out g.stream
 //	genstream -kind torus -n 20 -side 20 -format binstream -out torus.adjb
 //	genstream -kind plane -q 7 -out plane.edges
+//	genstream -kind butterflies -format arbstream -out g.arb   # arbitrary-order edge stream
+//
+// The arbstream format writes the edge list in a seeded shuffle — the
+// on-disk form of an arbitrary-order edge stream, replayed in file order by
+// cyclecount -model arbitrary.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -40,7 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	q := fs.Int64("q", 5, "projective plane order (prime power)")
 	gamma := fs.Float64("gamma", 2.5, "power-law exponent (chunglu)")
 	seed := fs.Uint64("seed", 1, "seed")
-	format := fs.String("format", "edges", "output format: edges, stream, binstream, or colstream (mmap-able columnar)")
+	format := fs.String("format", "edges", "output format: edges, arbstream (seed-shuffled edge list for -model arbitrary runs), stream, binstream, or colstream (mmap-able columnar)")
 	order := fs.String("order", "random", "stream order: sorted or random (with stream formats)")
 	out := fs.String("out", "", "output path (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch *format {
 	case "edges":
 		err = adjstream.WriteEdgeList(w, g)
+	case "arbstream":
+		err = writeArbStream(w, g, *seed)
 	case "stream", "binstream", "colstream":
 		var s *adjstream.Stream
 		if *order == "sorted" {
@@ -90,6 +98,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "genstream: %s n=%d m=%d\n", *kind, g.N(), g.M())
 	return 0
+}
+
+// writeArbStream emits g as an edge list in a seeded arbitrary order — the
+// on-disk form of the arbitrary-order streaming model. cyclecount replays it
+// in file order under -model arbitrary.
+func writeArbStream(w io.Writer, g *graph.Graph, seed uint64) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range adjstream.ArbitraryStreamFromGraph(g, seed).Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 func build(kind string, n int, m int64, p float64, t, side, k int, q int64, gamma float64, seed uint64) (*graph.Graph, error) {

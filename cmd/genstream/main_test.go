@@ -85,6 +85,40 @@ func TestRunStreamFormats(t *testing.T) {
 	}
 }
 
+// TestRunArbStream checks the arbitrary-order format: the output is a valid
+// edge list covering the whole graph, deterministic in the seed, and not in
+// sorted order (it is a shuffle).
+func TestRunArbStream(t *testing.T) {
+	gen := func(seed string) string {
+		var out, errw bytes.Buffer
+		if code := run([]string{"-kind", "complete", "-n", "8", "-format", "arbstream", "-seed", seed}, &out, &errw); code != 0 {
+			t.Fatalf("exit: %s", errw.String())
+		}
+		return out.String()
+	}
+	first := gen("7")
+	if gen("7") != first {
+		t.Fatal("arbstream output is not deterministic in the seed")
+	}
+	if gen("8") == first {
+		t.Fatal("arbstream output ignores the seed")
+	}
+	as, err := adjstream.ReadArbitraryStream(bytes.NewReader([]byte(first)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.M() != 28 || as.N() != 8 {
+		t.Fatalf("arbstream m=%d n=%d, want 28, 8", as.M(), as.N())
+	}
+	var sorted bytes.Buffer
+	if code := run([]string{"-kind", "complete", "-n", "8", "-seed", "7"}, &sorted, &bytes.Buffer{}); code != 0 {
+		t.Fatal("edges format failed")
+	}
+	if first == sorted.String() {
+		t.Fatal("arbstream output is in sorted order; expected a shuffle")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-kind", "bogus"},

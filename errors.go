@@ -38,14 +38,33 @@ func canceled(cause error) error {
 // and EstimateContext. A nil return guarantees the option plumbing itself
 // cannot fail.
 func (o Options) Validate() error {
+	var arbAlg bool
 	switch o.Algorithm {
 	case "":
 		return fmt.Errorf("%w: Algorithm is required", ErrInvalidOptions)
 	case AlgoTwoPassTriangle, AlgoThreePassTriangle, AlgoNaiveTwoPass,
 		AlgoOnePassTriangle, AlgoWedgeSampler, AlgoTwoPassFourCycle,
 		AlgoAdaptiveTriangle, AlgoExact:
+	case AlgoArbTwoPassWedge, AlgoArbBuriol,
+		AlgoArbThreePassFourCycle, AlgoArbNearOptFourCycle:
+		arbAlg = true
 	default:
 		return fmt.Errorf("%w %q", ErrUnknownAlgorithm, o.Algorithm)
+	}
+	switch o.Model {
+	case "", ModelAdjacencyList:
+		if arbAlg {
+			return fmt.Errorf("%w: algorithm %q requires Model %q", ErrInvalidOptions, o.Algorithm, ModelArbitrary)
+		}
+	case ModelArbitrary:
+		if !arbAlg {
+			return fmt.Errorf("%w: algorithm %q requires Model %q", ErrInvalidOptions, o.Algorithm, ModelAdjacencyList)
+		}
+		if o.Driver != "" {
+			return fmt.Errorf("%w: drivers traverse adjacency-list streams; leave Driver empty for Model %q", ErrInvalidOptions, ModelArbitrary)
+		}
+	default:
+		return fmt.Errorf("%w: unknown model %q", ErrInvalidOptions, o.Model)
 	}
 	switch o.Driver {
 	case "", DriverBroadcast, DriverPushBroadcast, DriverReplay:

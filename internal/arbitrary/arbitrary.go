@@ -1,8 +1,13 @@
 package arbitrary
 
 import (
+	"bufio"
+	"context"
 	"fmt"
+	"io"
 	"math/rand/v2"
+	"strconv"
+	"strings"
 
 	"adjstream/internal/graph"
 	"adjstream/internal/sampling"
@@ -23,7 +28,10 @@ func FromGraph(g *graph.Graph, seed uint64) *Stream {
 }
 
 // FromEdges validates (no duplicates in either orientation, no self-loops)
-// and wraps an explicit edge sequence.
+// and copies an explicit edge sequence into a new stream. The copy is what
+// makes multi-pass replay sound: Run presents the stored sequence once per
+// pass, so a caller mutating its own slice between passes must not be able
+// to change what a later pass sees.
 func FromEdges(edges []graph.Edge) (*Stream, error) {
 	seen := make(map[graph.Edge]bool, len(edges))
 	for i, e := range edges {
@@ -36,14 +44,71 @@ func FromEdges(edges []graph.Edge) (*Stream, error) {
 		}
 		seen[n] = true
 	}
-	return &Stream{edges: edges}, nil
+	es := make([]graph.Edge, len(edges))
+	copy(es, edges)
+	return &Stream{edges: es}, nil
 }
 
-// Edges returns the underlying sequence (shared; do not modify).
+// ReadEdges parses one whitespace-separated "u v" edge per line (blank lines
+// and #-comments skipped) and returns the stream in file order — the textual
+// form of an arbitrary-order stream, as genstream -format arbstream emits.
+func ReadEdges(r io.Reader) (*Stream, error) {
+	var edges []graph.Edge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("arbitrary: line %d: want \"u v\", got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("arbitrary: line %d: %w", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("arbitrary: line %d: %w", line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("arbitrary: line %d: negative vertex", line)
+		}
+		edges = append(edges, graph.Edge{U: graph.V(u), V: graph.V(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(edges)
+}
+
+// Edges returns the stored sequence. The stream owns its storage — FromEdges
+// copies its input, so this slice aliases no caller memory — but the return
+// value is still the live backing array: treat it as read-only.
 func (s *Stream) Edges() []graph.Edge { return s.edges }
 
 // M returns the number of edges.
 func (s *Stream) M() int64 { return int64(len(s.edges)) }
+
+// N returns the vertex-universe size implied by the stream: one past the
+// largest endpoint (0 for an empty stream). One-pass estimators in the
+// Buriol line need n up front; a stream wrapper knows it exactly.
+func (s *Stream) N() int64 {
+	var max graph.V = -1
+	for _, e := range s.edges {
+		if e.U > max {
+			max = e.U
+		}
+		if e.V > max {
+			max = e.V
+		}
+	}
+	return int64(max) + 1
+}
 
 // Algorithm is a multi-pass arbitrary-order streaming algorithm.
 type Algorithm interface {
@@ -75,6 +140,24 @@ func Run(s *Stream, a Algorithm) {
 		}
 		a.EndPass(p)
 	}
+}
+
+// RunContext is Run with cancellation, polled every 1024 edges. A cancelled
+// run returns ctx's cause and leaves a in an unspecified mid-pass state.
+func RunContext(ctx context.Context, s *Stream, a Algorithm) error {
+	for p := 0; p < a.Passes(); p++ {
+		a.StartPass(p)
+		for i, e := range s.edges {
+			if i%1024 == 0 {
+				if err := context.Cause(ctx); err != nil {
+					return err
+				}
+			}
+			a.Edge(e.U, e.V)
+		}
+		a.EndPass(p)
+	}
+	return context.Cause(ctx)
 }
 
 // TwoPassWedge is the const-pass arbitrary-order estimator family behind
@@ -110,9 +193,13 @@ func NewTwoPassWedge(p float64, seed uint64) (*TwoPassWedge, error) {
 	if p <= 0 || p > 1 {
 		return nil, fmt.Errorf("arbitrary: sampling probability %v out of (0,1]", p)
 	}
+	sampler, err := sampling.NewFixedProb(p, seed)
+	if err != nil {
+		return nil, err
+	}
 	return &TwoPassWedge{
 		p:        p,
-		sampler:  sampling.NewFixedProb(p, seed),
+		sampler:  sampler,
 		incident: make(map[graph.V][]graph.V),
 		byPair:   make(map[graph.Edge][]*arbWedge),
 	}, nil

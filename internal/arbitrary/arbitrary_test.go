@@ -1,7 +1,10 @@
 package arbitrary
 
 import (
+	"context"
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -162,6 +165,143 @@ func TestTwoPassWedgeSpaceGrowsWithP(t *testing.T) {
 	Run(s, hi)
 	if hi.SpaceWords() <= lo.SpaceWords() {
 		t.Fatalf("space lo=%d hi=%d", lo.SpaceWords(), hi.SpaceWords())
+	}
+}
+
+// orderRecorder records the edge sequence presented in each pass.
+type orderRecorder struct {
+	passes int
+	seqs   [][]graph.Edge
+}
+
+func (r *orderRecorder) Passes() int     { return r.passes }
+func (r *orderRecorder) StartPass(p int) { r.seqs = append(r.seqs, nil) }
+func (r *orderRecorder) Edge(u, v graph.V) {
+	r.seqs[len(r.seqs)-1] = append(r.seqs[len(r.seqs)-1], graph.Edge{U: u, V: v})
+}
+func (r *orderRecorder) EndPass(p int) {}
+
+// Property: Run presents the identical edge sequence on every pass — the
+// replay-determinism contract multi-pass estimators rely on.
+func TestRunIdenticalOrderEveryPass(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.ErdosRenyi(14, 0.4, seed%64+1)
+		if err != nil {
+			return false
+		}
+		rec := &orderRecorder{passes: 3}
+		Run(FromGraph(g, seed), rec)
+		if len(rec.seqs) != 3 || int64(len(rec.seqs[0])) != g.M() {
+			return false
+		}
+		for p := 1; p < 3; p++ {
+			for i := range rec.seqs[0] {
+				if rec.seqs[p][i] != rec.seqs[0][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FromEdges must copy: a caller mutating its slice mid-run (between passes)
+// must not change what later passes replay.
+func TestFromEdgesDefensiveCopy(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}
+	s, err := FromEdges(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges[0] = graph.Edge{U: 7, V: 8}
+	if got := s.Edges()[0]; got != (graph.Edge{U: 0, V: 1}) {
+		t.Fatalf("stream edge mutated through caller slice: %v", got)
+	}
+	// The sharper version of the same bug: mutate from inside a pass and
+	// check the recorded sequences still match across passes.
+	s2, err := FromEdges(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &mutatingRecorder{orderRecorder: orderRecorder{passes: 2}, caller: edges}
+	Run(s2, rec)
+	for i := range rec.seqs[0] {
+		if rec.seqs[1][i] != rec.seqs[0][i] {
+			t.Fatalf("pass 1 diverged at %d: %v vs %v", i, rec.seqs[1][i], rec.seqs[0][i])
+		}
+	}
+}
+
+type mutatingRecorder struct {
+	orderRecorder
+	caller []graph.Edge
+}
+
+func (r *mutatingRecorder) EndPass(p int) {
+	for i := range r.caller {
+		r.caller[i] = graph.Edge{U: 90 + graph.V(i), V: 99 + graph.V(i)}
+	}
+}
+
+func TestStreamN(t *testing.T) {
+	s, err := FromEdges([]graph.Edge{{U: 3, V: 9}, {U: 0, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 10 {
+		t.Fatalf("N = %d, want 10", s.N())
+	}
+	empty, err := FromEdges(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.N() != 0 {
+		t.Fatalf("empty N = %d", empty.N())
+	}
+}
+
+func TestReadEdges(t *testing.T) {
+	s, err := ReadEdges(strings.NewReader("# comment\n0 1\n\n2 3\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 1, V: 2}}
+	for i, e := range s.Edges() {
+		if e != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, e, want[i])
+		}
+	}
+	for _, bad := range []string{"0\n", "a b\n", "-1 2\n", "1 1\n", "0 1\n1 0\n"} {
+		if _, err := ReadEdges(strings.NewReader(bad)); err == nil {
+			t.Fatalf("input %q should fail", bad)
+		}
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	g := gen.Complete(40)
+	s := FromGraph(g, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	alg, err := NewTwoPassWedge(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunContext(ctx, s, alg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Uncancelled: identical result to Run.
+	a1, _ := NewTwoPassWedge(0.5, 1)
+	a2, _ := NewTwoPassWedge(0.5, 1)
+	Run(s, a1)
+	if err := RunContext(context.Background(), s, a2); err != nil {
+		t.Fatal(err)
+	}
+	if a1.Estimate() != a2.Estimate() {
+		t.Fatalf("RunContext %v != Run %v", a2.Estimate(), a1.Estimate())
 	}
 }
 

@@ -1,0 +1,39 @@
+package arbitrary
+
+import (
+	"testing"
+
+	"adjstream/internal/gen"
+)
+
+// BenchmarkArbFourCycle is the benchdiff gate key for the arbitrary-order
+// 4-cycle family: one full 3-pass run per iteration at a mid-range rate.
+func BenchmarkArbFourCycle(b *testing.B) {
+	g, err := gen.ErdosRenyi(400, 0.05, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := FromGraph(g, 3)
+	b.Run("threepass", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			alg, err := NewThreePassFourCycle(0.3, uint64(i)+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			Run(s, alg)
+			_ = alg.Estimate()
+		}
+	})
+	b.Run("nearopt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			alg, err := NewNearOptFourCycle(0.3, 0, uint64(i)+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			Run(s, alg)
+			_ = alg.Estimate()
+		}
+	})
+}

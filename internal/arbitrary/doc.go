@@ -3,20 +3,26 @@
 // adjacency-list model: each edge appears exactly once, in adversarial
 // order, with no locality promise.
 //
-// It provides the model's classic triangle counting algorithms — the
-// Buriol et al. edge-plus-vertex sampler (BuriolSampler, one pass) and the
-// two-pass wedge-closure estimator (TwoPassWedge) behind the Θ(m^{3/2}/T)
-// const-pass bound of Bera–Chakrabarti and McGregor–Vorotnikova–Vu — so
-// experiments can measure what the adjacency-list promise buys. The
-// headline comparison is experiment M1: in this model the required space
-// grows with the wedge count P2, while the adjacency-list two-pass
-// algorithm's Õ(m/T^{2/3}) does not, because list locality lets an
-// algorithm see a whole neighborhood before deciding what to retain.
+// Triangles are covered by the model's classics — the Buriol et al.
+// edge-plus-vertex sampler (BuriolSampler, one pass) and the two-pass
+// wedge-closure estimator (TwoPassWedge) behind the Θ(m^{3/2}/T)
+// const-pass bound of Bera–Chakrabarti and McGregor–Vorotnikova–Vu.
+// Four-cycles are covered by two three-pass estimators built on a shared
+// exact-co-degree closure (pairTracker): ThreePassFourCycle ports
+// Vorotnikova's improved 3-pass algorithm (arXiv 2007.13466), and
+// NearOptFourCycle ports the Lüderssen–Neumann–Peng near-optimal (1±ε)
+// variant (arXiv 2604.00828) with its discovery/estimation sample split.
+// Together they are the arbitrary-order column of the complexity landscape:
+// experiments can measure what the adjacency-list promise buys, pass for
+// pass (see experiments M1 and M3).
 //
 // The package is deliberately self-contained and minimal: a Stream is just
-// an edge sequence (FromGraph shuffles deterministically under a seed), an
-// Algorithm is driven by Run replaying the stream once per pass, and an
-// Estimator adds the estimate and the words-of-state figure charged
-// through the same space meter the rest of the repository uses — so its
-// numbers land in the same tables.
+// an edge sequence that owns its storage (FromGraph shuffles
+// deterministically under a seed; FromEdges copies and validates; ReadEdges
+// parses the textual form genstream emits), an Algorithm is driven by Run —
+// or RunContext under cancellation — replaying the stream once per pass in
+// identical order, and an Estimator adds the estimate and the
+// words-of-state figure charged through the same space meter the rest of
+// the repository uses — so its numbers land in the same tables. The public
+// facade exposes the model as adjstream.ModelArbitrary.
 package arbitrary

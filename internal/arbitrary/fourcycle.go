@@ -1,0 +1,391 @@
+package arbitrary
+
+import (
+	"fmt"
+	"math"
+
+	"adjstream/internal/graph"
+	"adjstream/internal/sampling"
+	"adjstream/internal/space"
+)
+
+// Three-pass arbitrary-order 4-cycle estimation. Both estimators below ride
+// on the same identity: with codeg(x,y) = |N(x) ∩ N(y)|, every unordered
+// vertex pair {x,y} is the diagonal of exactly C(codeg(x,y), 2) four-cycles,
+// and every 4-cycle has two diagonals, so
+//
+//	C4 = ½ · Σ_{pairs} C(codeg, 2).
+//
+// Pass one hash-samples edges and turns pairs of sampled edges sharing an
+// endpoint into tracked diagonal pairs; passes two and three then compute
+// the *exact* co-degree of every tracked pair. The exact-closure machinery
+// is shared (pairTracker) and uses the heavy/light orientation trick: each
+// pair stores the pending neighbor set of its endpoint with the smaller
+// sampled degree, so the per-pair state is min(deg) rather than max(deg)
+// words in expectation.
+
+// trackedPair is one diagonal pair {light, heavy} whose exact co-degree the
+// closure passes compute. pending accumulates N(light) during pass two;
+// pass three counts the edges {c, heavy} with c ∈ pending, which is exactly
+// |N(light) ∩ N(heavy)| because every edge appears once per pass.
+type trackedPair struct {
+	light, heavy graph.V
+	pending      map[graph.V]struct{}
+	codeg        int64
+	weight       int64 // sampled-wedge multiplicity (ThreePassFourCycle)
+	disc         bool  // found by the discovery sample (NearOptFourCycle)
+	est          bool  // found by the estimation sample (NearOptFourCycle)
+}
+
+// pairTracker is the exact co-degree machinery shared by the two 4-cycle
+// estimators. Pairs are registered during pass one (wedge formation inside
+// the edge sample), oriented heavy/light once the sampled degrees are final,
+// and closed over passes two and three. The ordered list fixes every
+// iteration (estimates sum floats), keeping runs bit-deterministic.
+type pairTracker struct {
+	pairs   map[graph.Edge]*trackedPair
+	list    []*trackedPair // creation order
+	byLight map[graph.V][]*trackedPair
+	byHeavy map[graph.V][]*trackedPair
+	meter   *space.Meter
+}
+
+func newPairTracker(meter *space.Meter) *pairTracker {
+	return &pairTracker{
+		pairs:   make(map[graph.Edge]*trackedPair),
+		byLight: make(map[graph.V][]*trackedPair),
+		byHeavy: make(map[graph.V][]*trackedPair),
+		meter:   meter,
+	}
+}
+
+// pair returns the tracked pair for {a,b}, creating it on first use.
+func (t *pairTracker) pair(a, b graph.V) *trackedPair {
+	key := graph.Edge{U: a, V: b}.Norm()
+	tp, ok := t.pairs[key]
+	if !ok {
+		tp = &trackedPair{light: key.U, heavy: key.V}
+		t.pairs[key] = tp
+		t.list = append(t.list, tp)
+		t.meter.Charge(space.WordsPerWatcher)
+	}
+	return tp
+}
+
+// orient fixes each pair's heavy/light orientation by sampled degree (ties
+// by vertex id) and builds the pass-two/three indexes. Called at the end of
+// pass one, when the sampled degrees are final.
+func (t *pairTracker) orient(sdeg func(graph.V) int) {
+	for _, tp := range t.list {
+		if sdeg(tp.heavy) < sdeg(tp.light) {
+			tp.light, tp.heavy = tp.heavy, tp.light
+		}
+		tp.pending = make(map[graph.V]struct{})
+		t.byLight[tp.light] = append(t.byLight[tp.light], tp)
+		t.byHeavy[tp.heavy] = append(t.byHeavy[tp.heavy], tp)
+	}
+}
+
+// observe handles one pass-two edge: it extends the pending set of every
+// pair whose light endpoint it touches.
+func (t *pairTracker) observe(u, v graph.V) {
+	for _, tp := range t.byLight[u] {
+		if _, ok := tp.pending[v]; !ok {
+			tp.pending[v] = struct{}{}
+			t.meter.Charge(space.WordsPerCounter)
+		}
+	}
+	for _, tp := range t.byLight[v] {
+		if _, ok := tp.pending[u]; !ok {
+			tp.pending[u] = struct{}{}
+			t.meter.Charge(space.WordsPerCounter)
+		}
+	}
+}
+
+// close handles one pass-three edge: an edge {c, heavy} with c in the
+// pair's pending set witnesses one common neighbor.
+func (t *pairTracker) close(u, v graph.V) {
+	for _, tp := range t.byHeavy[v] {
+		if _, ok := tp.pending[u]; ok {
+			tp.codeg++
+		}
+	}
+	for _, tp := range t.byHeavy[u] {
+		if _, ok := tp.pending[v]; ok {
+			tp.codeg++
+		}
+	}
+}
+
+// ThreePassFourCycle is the port of Vorotnikova's improved 3-pass
+// arbitrary-order 4-cycle estimator (arXiv 2007.13466) onto this package's
+// contracts. Pass one hash-samples edges with probability p and registers
+// every wedge formed inside the sample as a diagonal pair, with
+// multiplicity w_P = number of sampled wedges on pair P; passes two and
+// three compute each tracked pair's exact co-degree. A wedge x–c–y lies in
+// codeg(x,y) − 1 four-cycles (pick the second common neighbor ≠ c), each
+// 4-cycle contains four wedges, and a wedge survives sampling with
+// probability exactly p² (its two edges are distinct, so their hash
+// decisions are independent), which makes
+//
+//	Ĉ4 = Σ_P w_P · (codeg_P − 1) / (4p²)
+//
+// unbiased. The space is the edge sample plus, per tracked pair, the
+// pending set of its lighter endpoint — the heavy/light split that keeps
+// the closure state near the paper's budget instead of Θ(Δ) per pair.
+type ThreePassFourCycle struct {
+	p       float64
+	sampler *sampling.FixedProb
+
+	incident map[graph.V][]graph.V // sampled-edge adjacency (pass one only)
+	tracker  *pairTracker
+
+	pass  int
+	items int64
+	m     int64
+	meter space.Meter
+}
+
+var _ Estimator = (*ThreePassFourCycle)(nil)
+
+// NewThreePassFourCycle returns the estimator with edge-sampling
+// probability p ∈ (0,1].
+func NewThreePassFourCycle(p float64, seed uint64) (*ThreePassFourCycle, error) {
+	sampler, err := sampling.NewFixedProb(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &ThreePassFourCycle{
+		p:        p,
+		sampler:  sampler,
+		incident: make(map[graph.V][]graph.V),
+	}
+	t.tracker = newPairTracker(&t.meter)
+	return t, nil
+}
+
+// Passes implements Algorithm.
+func (t *ThreePassFourCycle) Passes() int { return 3 }
+
+// StartPass implements Algorithm.
+func (t *ThreePassFourCycle) StartPass(p int) { t.pass = p }
+
+// Edge implements Algorithm.
+func (t *ThreePassFourCycle) Edge(u, v graph.V) {
+	switch t.pass {
+	case 0:
+		t.items++
+		if t.sampler.Offer(u, v) {
+			t.addSampled(graph.Edge{U: u, V: v}.Norm())
+		}
+	case 1:
+		t.tracker.observe(u, v)
+	case 2:
+		t.tracker.close(u, v)
+	}
+}
+
+// addSampled registers the wedges the new sampled edge forms with the
+// sample so far: each one's endpoint pair becomes (or re-weights) a tracked
+// diagonal pair.
+func (t *ThreePassFourCycle) addSampled(e graph.Edge) {
+	for _, c := range [2]graph.V{e.U, e.V} {
+		other := e.V
+		if c == e.V {
+			other = e.U
+		}
+		for _, x := range t.incident[c] {
+			if x == other {
+				continue
+			}
+			t.tracker.pair(x, other).weight++
+		}
+	}
+	t.incident[e.U] = append(t.incident[e.U], e.V)
+	t.incident[e.V] = append(t.incident[e.V], e.U)
+	t.meter.Charge(space.WordsPerEdge)
+}
+
+// EndPass implements Algorithm.
+func (t *ThreePassFourCycle) EndPass(p int) {
+	if p != 0 {
+		return
+	}
+	t.m = t.items
+	t.tracker.orient(func(v graph.V) int { return len(t.incident[v]) })
+	// The sample itself is dead weight after the pairs are formed; only the
+	// tracker state rides into the closure passes.
+	t.meter.Release(int64(t.sampler.Len()) * space.WordsPerEdge)
+	t.incident = nil
+}
+
+// Estimate returns Σ w·(codeg−1) / (4p²).
+func (t *ThreePassFourCycle) Estimate() float64 {
+	var closure int64
+	for _, tp := range t.tracker.list {
+		closure += tp.weight * (tp.codeg - 1)
+	}
+	return float64(closure) / (4 * t.p * t.p)
+}
+
+// SpaceWords implements Estimator.
+func (t *ThreePassFourCycle) SpaceWords() int64 { return t.meter.Peak() }
+
+// M returns the edge count measured in pass one.
+func (t *ThreePassFourCycle) M() int64 { return t.m }
+
+// PairsTracked returns the number of diagonal pairs whose co-degree the
+// closure passes computed.
+func (t *ThreePassFourCycle) PairsTracked() int64 { return int64(len(t.tracker.list)) }
+
+// NearOptFourCycle is the port of the Lüderssen–Neumann–Peng near-optimal
+// (1±ε) 3-pass arbitrary-order estimator (arXiv 2604.00828). It runs two
+// independent hash samples in pass one: a discovery sample at rate q and an
+// estimation sample at rate p, with independent seeds. A diagonal pair is
+// tracked when either sample forms a wedge on it, and passes two and three
+// compute its exact co-degree d. Because a pair's wedges have distinct
+// centers, their edge sets are disjoint and the per-wedge survival events
+// are independent, so Pr[pair enters the estimation sample] is exactly
+// β(d) = 1 − (1−p²)^d. The split estimator
+//
+//	Ĉ4 = ½ · [ Σ_{discovered} C(d,2)  +  Σ_{est-only} C(d,2) / β(d) ]
+//
+// is unbiased for every pair (E = C(d,2)·(α + (1−α)·β·(1/β)) with
+// α = 1 − (1−q²)^d), and the heavy/light split is what buys near-optimal
+// variance: high-co-degree pairs are discovered almost surely and enter
+// exactly, while the surviving light pairs have C(d,2) capped by the
+// discovery threshold, so the inverse-β scaling cannot blow up.
+type NearOptFourCycle struct {
+	p, q    float64
+	estS    *sampling.FixedProb
+	discS   *sampling.FixedProb
+	incEst  map[graph.V][]graph.V
+	incDisc map[graph.V][]graph.V
+	tracker *pairTracker
+
+	pass  int
+	items int64
+	m     int64
+	meter space.Meter
+}
+
+var _ Estimator = (*NearOptFourCycle)(nil)
+
+// NewNearOptFourCycle returns the estimator with estimation rate p ∈ (0,1]
+// and discovery rate q. q = 0 selects the default q = min(1, √p): denser
+// than the estimation sample, so pairs with co-degree ≳ 1/q² — the ones
+// whose C(d,2) would dominate the variance — are discovered almost surely
+// and contribute exactly.
+func NewNearOptFourCycle(p, q float64, seed uint64) (*NearOptFourCycle, error) {
+	if q == 0 {
+		q = math.Min(1, math.Sqrt(p))
+	}
+	if !(q > 0 && q <= 1) {
+		return nil, fmt.Errorf("arbitrary: discovery rate %v outside (0,1]", q)
+	}
+	estS, err := sampling.NewFixedProb(p, seed^0x8f1b_bcdc_bfa5_3e0b)
+	if err != nil {
+		return nil, err
+	}
+	discS, err := sampling.NewFixedProb(q, seed^0x2b99_2ddf_a232_49d6)
+	if err != nil {
+		return nil, err
+	}
+	n := &NearOptFourCycle{
+		p:       p,
+		q:       q,
+		estS:    estS,
+		discS:   discS,
+		incEst:  make(map[graph.V][]graph.V),
+		incDisc: make(map[graph.V][]graph.V),
+	}
+	n.tracker = newPairTracker(&n.meter)
+	return n, nil
+}
+
+// Passes implements Algorithm.
+func (n *NearOptFourCycle) Passes() int { return 3 }
+
+// StartPass implements Algorithm.
+func (n *NearOptFourCycle) StartPass(p int) { n.pass = p }
+
+// Edge implements Algorithm.
+func (n *NearOptFourCycle) Edge(u, v graph.V) {
+	switch n.pass {
+	case 0:
+		n.items++
+		e := graph.Edge{U: u, V: v}.Norm()
+		if n.discS.Offer(u, v) {
+			n.addSampled(e, n.incDisc, func(tp *trackedPair) { tp.disc = true })
+		}
+		if n.estS.Offer(u, v) {
+			n.addSampled(e, n.incEst, func(tp *trackedPair) { tp.est = true })
+		}
+	case 1:
+		n.tracker.observe(u, v)
+	case 2:
+		n.tracker.close(u, v)
+	}
+}
+
+// addSampled registers the wedges e forms inside one of the two samples,
+// marking each touched pair with that sample's flag.
+func (n *NearOptFourCycle) addSampled(e graph.Edge, incident map[graph.V][]graph.V, mark func(*trackedPair)) {
+	for _, c := range [2]graph.V{e.U, e.V} {
+		other := e.V
+		if c == e.V {
+			other = e.U
+		}
+		for _, x := range incident[c] {
+			if x == other {
+				continue
+			}
+			mark(n.tracker.pair(x, other))
+		}
+	}
+	incident[e.U] = append(incident[e.U], e.V)
+	incident[e.V] = append(incident[e.V], e.U)
+	n.meter.Charge(space.WordsPerEdge)
+}
+
+// EndPass implements Algorithm.
+func (n *NearOptFourCycle) EndPass(p int) {
+	if p != 0 {
+		return
+	}
+	n.m = n.items
+	n.tracker.orient(func(v graph.V) int { return len(n.incDisc[v]) + len(n.incEst[v]) })
+	n.meter.Release(int64(n.discS.Len()+n.estS.Len()) * space.WordsPerEdge)
+	n.incEst, n.incDisc = nil, nil
+}
+
+// Estimate returns the split estimator over the tracked pairs.
+func (n *NearOptFourCycle) Estimate() float64 {
+	p2 := n.p * n.p
+	var sum float64
+	for _, tp := range n.tracker.list {
+		d := float64(tp.codeg)
+		if d < 2 {
+			continue
+		}
+		c2 := d * (d - 1) / 2
+		switch {
+		case tp.disc:
+			sum += c2
+		case tp.est:
+			sum += c2 / (1 - math.Pow(1-p2, d))
+		}
+	}
+	return sum / 2
+}
+
+// SpaceWords implements Estimator.
+func (n *NearOptFourCycle) SpaceWords() int64 { return n.meter.Peak() }
+
+// M returns the edge count measured in pass one.
+func (n *NearOptFourCycle) M() int64 { return n.m }
+
+// PairsTracked returns the number of diagonal pairs whose co-degree the
+// closure passes computed.
+func (n *NearOptFourCycle) PairsTracked() int64 { return int64(len(n.tracker.list)) }

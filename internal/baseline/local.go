@@ -56,12 +56,16 @@ func NewLocalTriangles(p float64, seed uint64) (*LocalTriangles, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	sampler, err := sampling.NewFixedProb(p, seed)
+	if err != nil {
+		return nil, err
+	}
 	l := &LocalTriangles{
 		p:       p,
 		seed:    seed,
 		counts:  make(map[graph.V]float64),
 		det:     &detectorLite{recs: make(map[graph.Edge]*liteRec), byVertex: make(map[graph.V][]*liteRec)},
-		sampler: sampling.NewFixedProb(p, seed),
+		sampler: sampler,
 	}
 	attachMeter("local_triangles", &l.meter)
 	return l, nil

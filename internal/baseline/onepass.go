@@ -34,9 +34,9 @@ func (c Config) validate() error {
 	return nil
 }
 
-func (c Config) newSampler(onEvict func(graph.Edge)) sampling.EdgeSampler {
+func (c Config) newSampler(onEvict func(graph.Edge)) (sampling.EdgeSampler, error) {
 	if c.SampleSize > 0 {
-		return sampling.NewBottomK(c.SampleSize, c.Seed, onEvict)
+		return sampling.NewBottomK(c.SampleSize, c.Seed, onEvict), nil
 	}
 	return sampling.NewFixedProb(c.SampleProb, c.Seed)
 }
@@ -85,7 +85,7 @@ func NewOnePassTriangle(cfg Config) (*OnePassTriangle, error) {
 		recs:     make(map[graph.Edge]*oneRec),
 		byVertex: make(map[graph.V][]*oneRec),
 	}
-	o.sampler = cfg.newSampler(func(e graph.Edge) {
+	sampler, err := cfg.newSampler(func(e graph.Edge) {
 		if r := o.recs[e]; r != nil {
 			r.dead = true
 			// Detections by an edge that does not survive into the final
@@ -95,6 +95,10 @@ func NewOnePassTriangle(cfg Config) (*OnePassTriangle, error) {
 			o.meter.Release(space.WordsPerEdge)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
+	o.sampler = sampler
 	attachMeter("onepass_triangle", &o.meter)
 	return o, nil
 }

@@ -38,12 +38,16 @@ func NewOnePassFourCycle(cfg Config) (*OnePassFourCycle, error) {
 		return nil, err
 	}
 	o := &OnePassFourCycle{cfg: cfg, builder: graph.NewBuilder(), evicted: make(map[graph.Edge]bool)}
-	o.sampler = cfg.newSampler(func(e graph.Edge) {
+	sampler, err := cfg.newSampler(func(e graph.Edge) {
 		// The builder cannot delete; remember evictions and filter at the
 		// end (bottom-k churn is modest at the budgets this is used with).
 		o.evicted[e] = true
 		o.meter.Release(space.WordsPerEdge)
 	})
+	if err != nil {
+		return nil, err
+	}
+	o.sampler = sampler
 	attachMeter("onepass_fourcycle", &o.meter)
 	return o, nil
 }

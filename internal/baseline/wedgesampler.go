@@ -73,7 +73,11 @@ func NewWedgeSampler(cfg Config) (*WedgeSampler, error) {
 		}
 	}
 	w.wedges = sampling.NewReservoir[*sampledWedge](cap, cfg.Seed^0x1f3a_5b77)
-	w.sampler = cfg.newSampler(func(e graph.Edge) { w.evictEdge(e) })
+	sampler, err := cfg.newSampler(func(e graph.Edge) { w.evictEdge(e) })
+	if err != nil {
+		return nil, err
+	}
+	w.sampler = sampler
 	attachMeter("wedge_sampler", &w.meter)
 	return w, nil
 }

@@ -91,7 +91,11 @@ func NewTwoPassFourCycle(cfg FourCycleConfig) (*TwoPassFourCycle, error) {
 	if cfg.SampleSize > 0 {
 		f.sampler = sampling.NewBottomK(cfg.SampleSize, cfg.Seed, nil)
 	} else {
-		f.sampler = sampling.NewFixedProb(cfg.SampleProb, cfg.Seed)
+		fp, err := sampling.NewFixedProb(cfg.SampleProb, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		f.sampler = fp
 	}
 	f.tele = newEstTele("twopass_fourcycle", &f.meter)
 	return f, nil

@@ -52,7 +52,11 @@ func NewNaiveTwoPass(cfg TriangleConfig) (*NaiveTwoPass, error) {
 			}
 		})
 	} else {
-		n.sampler = sampling.NewFixedProb(cfg.SampleProb, cfg.Seed)
+		fp, err := sampling.NewFixedProb(cfg.SampleProb, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		n.sampler = fp
 	}
 	return n, nil
 }

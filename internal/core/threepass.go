@@ -53,7 +53,11 @@ func NewThreePassTriangle(cfg TriangleConfig) (*ThreePassTriangle, error) {
 			}
 		})
 	} else {
-		t.sampler = sampling.NewFixedProb(cfg.SampleProb, cfg.Seed)
+		fp, err := sampling.NewFixedProb(cfg.SampleProb, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.sampler = fp
 	}
 	return t, nil
 }

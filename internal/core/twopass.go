@@ -105,7 +105,11 @@ func NewTwoPassTriangle(cfg TriangleConfig) (*TwoPassTriangle, error) {
 			}
 		})
 	} else {
-		t.sampler = sampling.NewFixedProb(cfg.SampleProb, cfg.Seed)
+		fp, err := sampling.NewFixedProb(cfg.SampleProb, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.sampler = fp
 	}
 	t.pairs = sampling.NewReservoir[*trianglePair](cfg.pairCap(), cfg.Seed^0x5bf0_3635)
 	t.tele = newEstTele("twopass_triangle", &t.meter)

@@ -27,6 +27,7 @@ func Registry() []Experiment {
 		{"F1", Figure1Gadgets},
 		{"M1", ModelComparison},
 		{"M2", OrderSensitivity},
+		{"M3", FourCycleModelComparison},
 		{"A1", AblationLightestEdge},
 		{"A2", AblationHvsExact},
 		{"A3", AblationGoodCycleFraction},

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -69,13 +70,39 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	// 12 Table 1 rows + Figure 1 + model comparison + 5 ablations.
-	if len(ids) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(ids))
+	// 12 Table 1 rows + Figure 1 + 3 model comparisons + 5 ablations.
+	if len(ids) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(ids))
 	}
-	for _, want := range []string{"T1.R1", "T1.R6", "T1.R12", "F1", "M1", "M2", "A1", "A5"} {
+	for _, want := range []string{"T1.R1", "T1.R6", "T1.R12", "F1", "M1", "M2", "M3", "A1", "A5"} {
 		if !ids[want] {
 			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestFourCycleModelComparisonRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab, err := FourCycleModelComparison(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// The (1±ε) arbitrary-order estimators must actually deliver small
+	// median error at the prescribed rate on every workload.
+	for _, row := range tab.Rows {
+		for _, col := range []int{4, 6} { // AO-V, AO-LNP rel err columns
+			var rel float64
+			if _, err := fmt.Sscanf(row[col], "%f", &rel); err != nil {
+				t.Fatalf("parsing %q: %v", row[col], err)
+			}
+			if rel > 0.25 {
+				t.Errorf("T=%s col %d: median rel err %v > 0.25", row[0], col, rel)
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package sampling
 
 import (
 	"container/heap"
+	"fmt"
 
 	"adjstream/internal/graph"
 )
@@ -33,14 +34,20 @@ type FixedProb struct {
 	set       map[graph.Edge]struct{}
 }
 
-// NewFixedProb returns a hash sampler with inclusion probability p.
-func NewFixedProb(p float64, seed uint64) *FixedProb {
+// NewFixedProb returns a hash sampler with inclusion probability p. p must
+// lie in (0,1]; anything else (including NaN) is a configuration error — a
+// sampler that can never accept an edge turns into a silent zero estimate
+// downstream, so the mistake is rejected here instead.
+func NewFixedProb(p float64, seed uint64) (*FixedProb, error) {
+	if !(p > 0 && p <= 1) {
+		return nil, fmt.Errorf("sampling: fixed-prob rate %v outside (0,1]", p)
+	}
 	return &FixedProb{
 		seed:      seed,
 		threshold: ProbThreshold(p),
 		p:         p,
 		set:       make(map[graph.Edge]struct{}),
-	}
+	}, nil
 }
 
 // Offer implements EdgeSampler.

@@ -27,14 +27,23 @@ func HashEdge(seed uint64, u, v graph.V) uint64 {
 }
 
 // ProbThreshold converts an inclusion probability p ∈ [0,1] to a uint64
-// threshold such that a uniform hash is below it with probability p.
+// threshold such that a uniform hash is below it with probability p. The
+// mapping is monotone in p and reaches ^uint64(0) only at p ≥ 1: the scaled
+// product is clamped before the float→uint64 conversion, because converting
+// a float64 ≥ 2^64 to uint64 is implementation-defined in Go and would
+// silently corrupt the threshold. NaN maps to 0 (nothing sampled) rather
+// than leaking through the conversion.
 func ProbThreshold(p float64) uint64 {
 	switch {
-	case p <= 0:
-		return 0
 	case p >= 1:
 		return ^uint64(0)
-	default:
-		return uint64(p * float64(1<<63) * 2)
+	case p > 0:
+		v := p * float64(1<<63) * 2
+		if v >= float64(1<<63)*2 {
+			return ^uint64(0)
+		}
+		return uint64(v)
+	default: // p ≤ 0 or NaN
+		return 0
 	}
 }

@@ -2,6 +2,7 @@ package sampling
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -56,6 +57,67 @@ func TestProbThresholdBounds(t *testing.T) {
 	}
 	if ProbThreshold(0.5) < 1<<62 || ProbThreshold(0.5) > 3<<62 {
 		t.Error("p=0.5 threshold out of plausible range")
+	}
+}
+
+// TestProbThresholdMonotoneSaturation is the regression test for the
+// unclamped float→uint64 conversion: the threshold must be monotone
+// non-decreasing in p, never wrap around, and reach ^uint64(0) only at
+// p ≥ 1 — for any p < 1 the threshold must leave headroom, because a
+// saturated threshold makes every hash pass and silently turns a
+// subsampling estimator into an exact counter with the wrong scale.
+func TestProbThresholdMonotoneSaturation(t *testing.T) {
+	// Dense grid plus the adversarial boundary: the largest float64 below 1
+	// and its neighbors, where the old conversion was implementation-defined
+	// (the scaled product sits right at the 2^64 boundary).
+	ps := []float64{math.SmallestNonzeroFloat64, 1e-300, 1e-18, 1e-9}
+	for p := 0.001; p < 1; p += 0.001 {
+		ps = append(ps, p)
+	}
+	for p, n := math.Nextafter(1, 0), 0; n < 8; n++ {
+		ps = append(ps, p)
+		p = math.Nextafter(p, 0)
+	}
+	sort.Float64s(ps)
+	prev := uint64(0)
+	for _, p := range ps {
+		thr := ProbThreshold(p)
+		if thr < prev {
+			t.Fatalf("ProbThreshold not monotone: p=%v gives %d < previous %d", p, thr, prev)
+		}
+		if thr == ^uint64(0) {
+			t.Fatalf("ProbThreshold saturated at p=%v < 1", p)
+		}
+		prev = thr
+	}
+	// The boundary value itself: 1-2⁻⁵³ scales to exactly (2⁵³-1)·2¹¹, the
+	// largest representable product below 2⁶⁴ — still not saturated.
+	if got, want := ProbThreshold(math.Nextafter(1, 0)), uint64(1<<53-1)<<11; got != want {
+		t.Fatalf("ProbThreshold(1-ulp) = %d, want %d", got, want)
+	}
+	// Saturation happens exactly at p ≥ 1 (and +Inf); NaN samples nothing.
+	for _, p := range []float64{1, math.Nextafter(1, 2), 1.5, math.Inf(1)} {
+		if ProbThreshold(p) != ^uint64(0) {
+			t.Fatalf("ProbThreshold(%v) should saturate", p)
+		}
+	}
+	for _, p := range []float64{math.NaN(), math.Inf(-1)} {
+		if ProbThreshold(p) != 0 {
+			t.Fatalf("ProbThreshold(%v) = %d, want 0", p, ProbThreshold(p))
+		}
+	}
+}
+
+func TestNewFixedProbRejectsBadRates(t *testing.T) {
+	for _, p := range []float64{0, -0.1, 1.0000000000000002, 2, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := NewFixedProb(p, 1); err == nil {
+			t.Errorf("NewFixedProb(%v) should fail", p)
+		}
+	}
+	for _, p := range []float64{math.SmallestNonzeroFloat64, 0.5, 1} {
+		if _, err := NewFixedProb(p, 1); err != nil {
+			t.Errorf("NewFixedProb(%v): %v", p, err)
+		}
 	}
 }
 
@@ -124,7 +186,10 @@ func TestReservoirPanicsOnBadCapacity(t *testing.T) {
 }
 
 func TestFixedProbConsistency(t *testing.T) {
-	s := NewFixedProb(0.5, 7)
+	s, err := NewFixedProb(0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for u := graph.V(0); u < 50; u++ {
 		for v := u + 1; v < 50; v++ {
 			first := s.Offer(u, v)
@@ -140,7 +205,10 @@ func TestFixedProbConsistency(t *testing.T) {
 }
 
 func TestFixedProbRate(t *testing.T) {
-	s := NewFixedProb(0.3, 11)
+	s, err := NewFixedProb(0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
 	n, in := 0, 0
 	for u := graph.V(0); u < 100; u++ {
 		for v := u + 1; v < 100; v++ {

@@ -59,6 +59,7 @@ type cacheKey struct {
 	graph       string
 	fingerprint uint64
 	version     uint64 // graph version the run pinned (see EstimateRequest.key)
+	model       string // raw request model, so the two models never share a hit
 	algorithm   string
 	sampleSize  int
 	sampleProb  float64
@@ -75,9 +76,9 @@ type cacheKey struct {
 // shardOf returns the key's shard index.
 func (k cacheKey) shardOf() int {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s\x00%s\x00%x\x00%x\x00%s\x00%d\x00%g\x00%d\x00%d\x00%d\x00%g\x00%t\x00%s\x00%x\x00%s",
-		k.kind, k.graph, k.fingerprint, k.version, k.algorithm, k.sampleSize, k.sampleProb,
-		k.pairCap, k.cycleLen, k.copies, k.confidence, k.parallel, k.driver,
+	fmt.Fprintf(h, "%s\x00%s\x00%x\x00%x\x00%s\x00%s\x00%d\x00%g\x00%d\x00%d\x00%d\x00%g\x00%t\x00%s\x00%x\x00%s",
+		k.kind, k.graph, k.fingerprint, k.version, k.model, k.algorithm, k.sampleSize,
+		k.sampleProb, k.pairCap, k.cycleLen, k.copies, k.confidence, k.parallel, k.driver,
 		k.seed, k.order)
 	return int(h.Sum64() % cacheShards)
 }

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// postFull sends body and returns the raw response, for header assertions.
+func postFull(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// The model axis end to end: an arbitrary-order estimate over a catalog
+// graph at p = 1 returns the exact count, echoes the model, reports no
+// driver, and the repeat is a cache hit.
+func TestEstimateArbitraryModelRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := EstimateRequest{
+		Graph: "k6", Model: "arbitrary", Algorithm: "arb-twopass-wedge",
+		SampleProb: 1, Seed: seedPtr(1),
+	}
+	resp := postFull(t, ts.URL+"/v1/estimate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != string(CacheMiss) {
+		t.Fatalf("first X-Cache = %q", got)
+	}
+	var body EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Estimate != 20 { // K6: 20 triangles
+		t.Fatalf("estimate = %v, want 20", body.Estimate)
+	}
+	if body.Model != "arbitrary" {
+		t.Fatalf("model echoed as %q", body.Model)
+	}
+	if body.Driver != "" {
+		t.Fatalf("driver = %q, want empty for arbitrary runs", body.Driver)
+	}
+	if body.M != 15 || body.Passes != 2 {
+		t.Fatalf("metadata m=%d passes=%d", body.M, body.Passes)
+	}
+
+	again := postFull(t, ts.URL+"/v1/estimate", req)
+	if got := again.Header.Get("X-Cache"); got != string(CacheHit) {
+		t.Fatalf("repeat X-Cache = %q", got)
+	}
+	var cached EstimateResponse
+	if err := json.NewDecoder(again.Body).Decode(&cached); err != nil {
+		t.Fatal(err)
+	}
+	if cached != body {
+		t.Fatalf("cached response %+v != fresh %+v", cached, body)
+	}
+
+	// The 4-cycle family over the same API: K6 has 45 four-cycles.
+	var c4 EstimateResponse
+	code := post(t, ts, "/v1/estimate", EstimateRequest{
+		Graph: "k6", Model: "arbitrary", Algorithm: "arb-threepass-fourcycle",
+		SampleProb: 1, Seed: seedPtr(1),
+	}, &c4)
+	if code != http.StatusOK || c4.Estimate != 45 || c4.Passes != 3 {
+		t.Fatalf("threepass-fourcycle: code %d, %+v", code, c4)
+	}
+}
+
+// Cache-collision regression: two keys identical in everything but the
+// model must be distinct cache entries — if model ever drops out of
+// cacheKey, the second Put overwrites the first and this test fails.
+func TestCacheKeysDistinctPerModel(t *testing.T) {
+	c := NewCache(64, 0)
+	base := cacheKey{kind: "estimate", graph: "g", algorithm: "exact", seed: 1}
+	arb := base
+	arb.model = "arbitrary"
+	c.Put(base, EstimateResponse{Estimate: 1})
+	c.Put(arb, EstimateResponse{Estimate: 2})
+	got, ok := c.Get(base)
+	if !ok || got.Estimate != 1 {
+		t.Fatalf("adjacency-list entry = %+v, %v", got, ok)
+	}
+	got, ok = c.Get(arb)
+	if !ok || got.Estimate != 2 {
+		t.Fatalf("arbitrary entry = %+v, %v", got, ok)
+	}
+}
+
+func TestModelValidationOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		path string
+		req  any
+	}{
+		{"unknown model", "/v1/estimate", EstimateRequest{Graph: "k6", Model: "edge-list", Algorithm: "exact"}},
+		{"AL algorithm under arbitrary", "/v1/estimate", EstimateRequest{Graph: "k6", Model: "arbitrary", Algorithm: "exact"}},
+		{"arb algorithm without model", "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "arb-twopass-wedge", SampleProb: 1}},
+		{"driver under arbitrary", "/v1/estimate", EstimateRequest{Graph: "k6", Model: "arbitrary", Algorithm: "arb-twopass-wedge", SampleProb: 1, Driver: "broadcast"}},
+		{"distinguish rejects model", "/v1/distinguish", EstimateRequest{Graph: "k6", Model: "arbitrary"}},
+		{"shard rejects model", "/v1/shard", ShardRequest{
+			EstimateRequest: EstimateRequest{Graph: "k6", Model: "arbitrary", Algorithm: "arb-twopass-wedge", SampleProb: 1, Copies: 2},
+			CopyLo:          0, CopyHi: 1,
+		}},
+	}
+	for _, c := range cases {
+		var errResp ErrorResponse
+		if code := post(t, ts, c.path, c.req, &errResp); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, code)
+			continue
+		}
+		if errResp.Error.Code != "invalid_options" {
+			t.Errorf("%s: code %q", c.name, errResp.Error.Code)
+		}
+	}
+}
+
+// Batch items may select the arbitrary model; they run solo (never grouped
+// into a snapshot-merging family) and still populate the cache.
+func TestBatchArbitraryModel(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mk := func(copies int) EstimateRequest {
+		return EstimateRequest{
+			Graph: "k6", Model: "arbitrary", Algorithm: "arb-twopass-wedge",
+			SampleProb: 0.5, Copies: copies, Parallel: true, Seed: seedPtr(3),
+		}
+	}
+	var batch BatchResponse
+	code := post(t, ts, "/v1/estimate/batch", BatchRequest{Requests: []EstimateRequest{mk(4), mk(8)}}, &batch)
+	if code != http.StatusOK || len(batch.Results) != 2 {
+		t.Fatalf("code %d, results %d", code, len(batch.Results))
+	}
+	for i, item := range batch.Results {
+		if item.Error != nil || item.Result == nil {
+			t.Fatalf("item %d: %+v", i, item)
+		}
+		if item.Cache == string(CacheShared) {
+			t.Fatalf("item %d grouped into a snapshot family", i)
+		}
+		if item.Result.Model != "arbitrary" {
+			t.Fatalf("item %d model %q", i, item.Result.Model)
+		}
+		// Each item must equal its standalone run.
+		var solo EstimateResponse
+		if post(t, ts, "/v1/estimate", batchReq(mk, i), &solo); solo.Estimate != item.Result.Estimate {
+			t.Fatalf("item %d: batch %v != solo %v", i, item.Result.Estimate, solo.Estimate)
+		}
+	}
+}
+
+func batchReq(mk func(int) EstimateRequest, i int) EstimateRequest {
+	if i == 0 {
+		return mk(4)
+	}
+	return mk(8)
+}
+
+// Cluster mode never routes arbitrary-model runs to the remote: the shard
+// transport is adjacency-list only, so they execute locally even when a
+// remote runner is configured.
+func TestArbitraryModelBypassesRemote(t *testing.T) {
+	boom := errors.New("remote must not see arbitrary-model runs")
+	cfg := Config{
+		Remote: func(ctx context.Context, kind string, req EstimateRequest, ds *Dataset) (EstimateResponse, error) {
+			return EstimateResponse{}, boom // not ErrRemoteUnavailable: no local fallback
+		},
+	}
+	_, ts := newTestServer(t, cfg)
+	var resp EstimateResponse
+	code := post(t, ts, "/v1/estimate", EstimateRequest{
+		Graph: "k6", Model: "arbitrary", Algorithm: "arb-twopass-wedge",
+		SampleProb: 1, Seed: seedPtr(1),
+	}, &resp)
+	if code != http.StatusOK || resp.Estimate != 20 {
+		t.Fatalf("arbitrary run through cluster config: code %d, %+v", code, resp)
+	}
+	// Sanity: the same server does route adjacency-list runs remotely.
+	var errResp ErrorResponse
+	if code := post(t, ts, "/v1/estimate", EstimateRequest{Graph: "k6", Algorithm: "exact"}, &errResp); code != http.StatusInternalServerError {
+		t.Fatalf("AL run bypassed remote: code %d", code)
+	}
+}

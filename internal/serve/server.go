@@ -109,7 +109,13 @@ type Server struct {
 type EstimateRequest struct {
 	// Graph names a catalog dataset.
 	Graph string `json:"graph"`
-	// Algorithm selects the estimator (see adjstream.Algorithms).
+	// Model selects the streaming model: "adjacency-list" (the default,
+	// also selected by an absent field) or "arbitrary", which replays the
+	// dataset as an arbitrary-order edge stream (first occurrence of each
+	// edge in the selected stream order). Estimate only; distinguish always
+	// runs the adjacency-list model.
+	Model string `json:"model,omitempty"`
+	// Algorithm selects the estimator (see adjstream.AlgorithmsForModel).
 	Algorithm string `json:"algorithm,omitempty"`
 	// SampleSize is the bottom-k edge budget m′.
 	SampleSize int `json:"sample_size,omitempty"`
@@ -151,9 +157,17 @@ func (r EstimateRequest) EffectiveSeed() uint64 {
 	return 0
 }
 
+// arbitraryModel reports whether the request selects the arbitrary-order
+// model — the runs that bypass the cluster-mode remote runner and the batch
+// family grouping (both are built on the adjacency-list snapshot transport).
+func (r EstimateRequest) arbitraryModel() bool {
+	return adjstream.Model(r.Model) == adjstream.ModelArbitrary
+}
+
 // options maps the wire request onto adjstream.Options.
 func (r EstimateRequest) options() adjstream.Options {
 	return adjstream.Options{
+		Model:      adjstream.Model(r.Model),
 		Algorithm:  adjstream.Algorithm(r.Algorithm),
 		SampleSize: r.SampleSize,
 		SampleProb: r.SampleProb,
@@ -180,6 +194,9 @@ func (r EstimateRequest) validate(kind string) error {
 	if kind != "distinguish" {
 		return r.options().Validate()
 	}
+	if r.Model != "" && adjstream.Model(r.Model) != adjstream.ModelAdjacencyList {
+		return fmt.Errorf("%w: distinguish runs the adjacency-list model; leave model empty", adjstream.ErrInvalidOptions)
+	}
 	if r.Algorithm != "" {
 		return fmt.Errorf("%w: Distinguish derives Algorithm from cycle_len; leave it empty", adjstream.ErrInvalidOptions)
 	}
@@ -204,6 +221,7 @@ func (r EstimateRequest) key(kind string, ds *Dataset) cacheKey {
 		graph:       r.Graph,
 		fingerprint: ds.Fingerprint(),
 		version:     ds.Version(),
+		model:       r.Model,
 		algorithm:   r.Algorithm,
 		sampleSize:  r.SampleSize,
 		sampleProb:  r.SampleProb,
@@ -223,7 +241,10 @@ func (r EstimateRequest) key(kind string, ds *Dataset) cacheKey {
 // or the server default when the request carried none), so any response
 // can be reproduced client-side or re-requested cache-identically.
 type EstimateResponse struct {
-	Graph      string  `json:"graph"`
+	Graph string `json:"graph"`
+	// Model echoes the request's streaming model, verbatim (absent when the
+	// request selected the adjacency-list default by omission).
+	Model      string  `json:"model,omitempty"`
 	Algorithm  string  `json:"algorithm,omitempty"`
 	Found      *bool   `json:"found,omitempty"` // distinguish only
 	Estimate   float64 `json:"estimate"`
@@ -535,7 +556,10 @@ func (s *Server) runOne(ctx context.Context, kind string, req EstimateRequest, d
 // the local pool+library path when the remote reports itself unavailable,
 // unless that fallback is disabled.
 func (s *Server) dispatch(ctx context.Context, kind string, req EstimateRequest, ds *Dataset) (EstimateResponse, error) {
-	if s.cfg.Remote != nil {
+	// Arbitrary-model runs always execute locally: the cluster scheduler
+	// shards copies over the adjacency-list snapshot transport, which
+	// arbitrary-order estimators do not speak.
+	if s.cfg.Remote != nil && !req.arbitraryModel() {
 		resp, err := s.cfg.Remote(ctx, kind, req, ds)
 		if err == nil || !errors.Is(err, ErrRemoteUnavailable) || s.cfg.NoLocalFallback {
 			return resp, err
@@ -566,6 +590,7 @@ func (s *Server) run(ctx context.Context, kind string, req EstimateRequest, ds *
 	}
 	resp := EstimateResponse{
 		Graph:            req.Graph,
+		Model:            req.Model,
 		Algorithm:        req.Algorithm,
 		Seed:             req.EffectiveSeed(),
 		GraphVersion:     ds.Version(),
@@ -710,7 +735,7 @@ func (s *Server) batchRunFamilies(ctx context.Context, reqs []EstimateRequest, p
 	order := make([]cacheKey, 0, len(pending))
 	for _, i := range pending {
 		req := reqs[i]
-		if !req.Parallel || req.Copies <= 1 || req.Confidence != 0 {
+		if !req.Parallel || req.Copies <= 1 || req.Confidence != 0 || req.arbitraryModel() {
 			solo = append(solo, i)
 			continue
 		}
@@ -783,6 +808,7 @@ func (s *Server) batchRunFamily(ctx context.Context, reqs []EstimateRequest, idx
 		}
 		resp := EstimateResponse{
 			Graph:            reqs[i].Graph,
+			Model:            reqs[i].Model,
 			Algorithm:        reqs[i].Algorithm,
 			Estimate:         res.Estimate,
 			SpaceWords:       res.SpaceWords,
@@ -825,7 +851,7 @@ func (s *Server) batchRun(ctx context.Context, req EstimateRequest, ds *Dataset)
 // dispatch, but without a second pool acquisition — the caller already
 // holds a slot).
 func (s *Server) runOrRemote(ctx context.Context, req EstimateRequest, ds *Dataset) (EstimateResponse, error) {
-	if s.cfg.Remote != nil {
+	if s.cfg.Remote != nil && !req.arbitraryModel() {
 		resp, err := s.cfg.Remote(ctx, "estimate", req, ds)
 		if err == nil || !errors.Is(err, ErrRemoteUnavailable) || s.cfg.NoLocalFallback {
 			return resp, err

@@ -35,6 +35,9 @@ func EstimateShardContext(ctx context.Context, s *Stream, opts Options, lo, hi i
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Model == ModelArbitrary {
+		return nil, fmt.Errorf("%w: Model %q has no snapshot transport; shard execution is adjacency-list only", ErrInvalidOptions, opts.Model)
+	}
 	k := opts.copies()
 	if lo < 0 || hi <= lo || hi > k {
 		return nil, fmt.Errorf("%w: copy range [%d,%d) outside [0,%d)", ErrInvalidOptions, lo, hi, k)
